@@ -1,0 +1,32 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark reproduces one table/figure: it computes the full result
+table once, asserts the reproduction criteria (who wins, rough factors,
+crossovers — not absolute numbers), prints the table, and saves it under
+``benchmarks/results/`` for EXPERIMENTS.md.  The ``benchmark`` fixture is
+applied to a representative operation of that experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, table) -> None:
+        text = table.format() if hasattr(table, "format") else str(table)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,84 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_chaining_defeats_frequency_analysis(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.chaining_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_chaining", result)
+    naive, smatch = result.column("attack accuracy")
+    assert naive > 0.8  # landmark recovered against the strawman
+    assert smatch < 0.3  # near-chance against mapping + chaining
+    assert naive / max(smatch, 1e-6) > 3
+
+
+def test_entropy_increase_blows_up_search_space(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.entropy_increase_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_entropy_increase", result)
+    raw, mapped = result.rows
+    assert raw["mean search space"] <= 4  # low-entropy raw values collapse
+    assert mapped["mean search space"] >= 4 * raw["mean search space"]
+
+
+def test_ope_split_distributions(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ope_split_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_ope_split", result)
+    for row in result.rows:
+        assert row["order preserved"] is True
+    deviations = {
+        row["split"]: row["mean |ct - linear| / range"] for row in result.rows
+    }
+    # both stay bounded away from degenerate behaviour
+    assert 0 < deviations["uniform"] < 0.5
+    assert 0 < deviations["hypergeometric"] <= 0.5
+
+
+def test_fuzzy_keys_bound_collusion_damage(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.key_sharing_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_key_sharing", result)
+    shared, fuzzy, worst = result.rows
+    assert shared["advantage"] == 1.0
+    assert fuzzy["advantage"] < 1.0
+    assert worst["advantage"] < 1.0
+    # Theorem 2's regime: m << N
+    assert worst["advantage"] <= 0.5
+
+
+def test_adaptive_ope_range_sizing(benchmark, save_result):
+    """Future-work feature: OPE range width adapts to measured entropy."""
+    result = benchmark.pedantic(
+        ablations.adaptive_ope_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_adaptive_ope", result)
+    expansions = result.column("expansion bits")
+    # lower measured entropy -> more range slack
+    assert expansions == sorted(expansions, reverse=True)
+    assert all(result.column("order preserved"))
+
+
+def test_dpe_leaks_more_than_ope(benchmark, save_result):
+    """PPE granularity: DPE's Test answers distance queries, OPE's can't."""
+    result = benchmark.pedantic(
+        ablations.dpe_leakage_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_dpe_leakage", result)
+    dpe_acc, ope_acc = result.column("closer-pair inference accuracy")
+    assert dpe_acc == 1.0
+    assert ope_acc < 0.75
+
+
+def test_erasure_decoding_does_not_hurt(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.erasure_decoding_ablation, rounds=1, iterations=1
+    )
+    save_result("ablation_erasure_decoding", result)
+    plain, erasure = result.rows
+    assert erasure["key agreement rate"] >= plain["key agreement rate"] - 0.02

@@ -1,0 +1,48 @@
+"""Figure 1: OKPA search-space pruning against OPE ciphertext stores."""
+
+from repro.attacks.okpa import OkpaAdversary
+from repro.crypto.ope import OPE, OpeParams
+from repro.experiments import fig1
+from repro.utils.rand import SystemRandomSource
+
+
+def test_fig1_paper_panels(benchmark, save_result):
+    result = fig1.paper_panels()
+    save_result("fig1_panels", result)
+
+    by_panel = {row["panel"]: row for row in result.rows}
+    # The paper's illustrated numbers: N = 3 sparse, N = 39 dense.
+    assert by_panel["(a) sparse"]["search space N"] == 3
+    assert by_panel["(b) dense"]["search space N"] == 39
+
+    benchmark(fig1.paper_panels)
+
+
+def test_fig1_search_space_grows_with_density(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig1.run,
+        kwargs={"densities": (4, 16, 64), "trials": 15},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig1_generalized", result)
+    spaces = result.column("mean search space")
+    # leakage shrinks (search space grows) as the store densifies
+    assert spaces[0] < spaces[1] < spaces[2]
+    # success probability falls correspondingly
+    probs = result.column("mean success prob")
+    assert probs[0] >= probs[-1]
+
+
+def test_fig1_adversary_benchmark(benchmark):
+    ope = OPE(b"bench" + bytes(27), OpeParams(plaintext_bits=16))
+    adversary = OkpaAdversary(rng=SystemRandomSource(seed=5))
+    population = list(range(0, 64000, 1000))
+
+    def attack_round():
+        return adversary.play(
+            ope.encrypt, population, [0, 63000], 32000
+        ).search_space_size
+
+    size = benchmark(attack_round)
+    assert size > 0

@@ -1,0 +1,43 @@
+"""Figure 4(a): entropy after entropy-increase + chaining vs perfect."""
+
+from repro.datasets import INFOCOM06, SIGCOMM09, WEIBO
+from repro.experiments import fig4a
+from repro.experiments.common import PLAINTEXT_SIZES
+
+
+def test_fig4a_entropy_curves(benchmark, save_result):
+    result = fig4a.run(sizes=PLAINTEXT_SIZES)
+    save_result("fig4a_entropy", result)
+
+    for row in result.rows:
+        k = row["plaintext size (bit)"]
+        for name in ("Infocom06", "Sigcomm09", "Weibo"):
+            # below but close to the perfect-entropy limit
+            assert row[name] < k
+            assert row[name] > k - 16
+
+    # curves increase with the plaintext size
+    for name in ("Infocom06", "Sigcomm09", "Weibo"):
+        series = result.column(name)
+        assert series == sorted(series)
+
+    # Weibo's larger attribute-value counts cost it more entropy headroom
+    # at every size (the paper: "the increment of entropy becomes slower")
+    for row in result.rows:
+        assert row["Weibo"] < row["Infocom06"]
+        assert row["Weibo"] < row["Sigcomm09"]
+
+    benchmark(lambda: fig4a.chained_entropy_bits(INFOCOM06, 64))
+
+
+def test_fig4a_relative_gap_shrinks_with_k(benchmark):
+    """The curves converge toward the perfect line relatively as k grows."""
+    result = benchmark.pedantic(
+        fig4a.run, kwargs={"sizes": (64, 2048)}, rounds=1, iterations=1
+    )
+    small = result.rows[0]
+    large = result.rows[-1]
+    for name in ("Infocom06", "Sigcomm09", "Weibo"):
+        rel_small = small[name] / 64
+        rel_large = large[name] / 2048
+        assert rel_large > rel_small

@@ -1,0 +1,54 @@
+"""Figures 4(c)-(e): client computation cost vs plaintext size.
+
+Reproduction targets (shapes, not constants): homoPM's client cost grows
+steeply with the plaintext size while PM grows mildly; beyond a crossover
+(the paper puts it near 256 bits) PM wins, and at the top sizes the gap is
+at least one order of magnitude — the paper's headline claim.
+"""
+
+import pytest
+
+from repro.experiments import fig4cde
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+
+
+@pytest.mark.parametrize("dataset", ["Infocom06", "Sigcomm09", "Weibo"])
+def test_fig4cde_client_cost(dataset, benchmark, save_result):
+    result = benchmark.pedantic(
+        fig4cde.run, args=(dataset,), kwargs={"sizes": SIZES},
+        rounds=1, iterations=1,
+    )
+    save_result(f"fig4cde_client_cost_{dataset.lower()}", result)
+
+    pm = result.column("PM (ms)")
+    pmv = result.column("PM+V (ms)")
+    homo = result.column("homoPM (ms)")
+
+    # verification adds cost on top of PM at every size
+    assert all(v >= p for p, v in zip(pm, pmv))
+
+    # homoPM grows steeply with k: 2048-bit cost dwarfs 64-bit cost
+    assert homo[-1] > homo[0] * 50
+
+    # beyond the crossover PM is cheaper, with >= 10x gap at k >= 1024
+    rows = {r["plaintext size (bit)"]: r for r in result.rows}
+    for k in (512, 1024, 2048):
+        assert rows[k]["PM (ms)"] < rows[k]["homoPM (ms)"]
+    assert homo[-1] / pm[-1] >= 10
+    assert homo[-2] / pm[-2] >= 10
+
+    # PM cost is keygen-dominated and far flatter than homoPM's growth
+    assert pm[-1] / pm[0] < (homo[-1] / homo[0]) / 4
+
+
+def test_fig4cde_pm_benchmark(benchmark):
+    """pytest-benchmark statistics for the PM client pipeline at k=64."""
+    costs = benchmark.pedantic(
+        fig4cde.client_costs_ms,
+        args=(fig4cde.DATASETS["Infocom06"], 64),
+        kwargs={"repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert costs["PM"] > 0

@@ -1,0 +1,65 @@
+"""Figures 5(a)-(c): server computation cost vs plaintext size.
+
+Reproduction targets: the PM server cost is nearly flat in the plaintext
+size (integer comparisons on OPE ciphertexts), homoPM's online cost grows
+steeply with it and with the user count, and across the sweep homoPM is
+orders of magnitude more expensive per query.
+"""
+
+import pytest
+
+from repro.experiments import fig4cde, fig5abc
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+NUM_USERS = 20
+
+
+@pytest.mark.parametrize("dataset", ["Infocom06", "Sigcomm09", "Weibo"])
+def test_fig5abc_server_cost(dataset, benchmark, save_result):
+    result = benchmark.pedantic(
+        fig5abc.run,
+        args=(dataset,),
+        kwargs={"sizes": SIZES, "num_users": NUM_USERS},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig5abc_server_cost_{dataset.lower()}", result)
+
+    pm = result.column("PM (ms)")
+    homo = result.column("homoPM (ms)")
+
+    # homoPM grows steeply with plaintext size
+    assert homo[-1] > homo[0] * 50
+    # PM stays nearly flat (within a small factor across a 32x size sweep)
+    assert max(pm) < min(pm) * 8 + 5
+    # PM wins by >= 10x from 256-bit plaintexts on
+    rows = {r["plaintext size (bit)"]: r for r in result.rows}
+    for k in (256, 512, 1024, 2048):
+        assert rows[k]["homoPM (ms)"] / rows[k]["PM (ms)"] >= 10
+
+
+def test_fig5abc_homopm_grows_with_users(benchmark):
+    """The paper: homoPM's online cost 'increases by the size of users'."""
+
+    def both():
+        small = fig5abc.server_costs_ms(
+            fig4cde.DATASETS["Infocom06"], 64, num_users=10
+        )
+        large = fig5abc.server_costs_ms(
+            fig4cde.DATASETS["Infocom06"], 64, num_users=40
+        )
+        return small, large
+
+    small, large = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert large["homoPM"] > small["homoPM"] * 2
+
+
+def test_fig5abc_pm_benchmark(benchmark):
+    costs = benchmark.pedantic(
+        fig5abc.server_costs_ms,
+        args=(fig4cde.DATASETS["Infocom06"], 64),
+        kwargs={"num_users": 15, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert costs["PM"] > 0

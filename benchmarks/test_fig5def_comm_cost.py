@@ -1,0 +1,90 @@
+"""Figures 5(d)-(f): communication cost vs entropy (plaintext size).
+
+Reproduction targets: both curves grow linearly in the plaintext size with
+slope d (one N = M ciphertext per attribute); the PM+V curve sits a constant
+amount above PM — exactly the authenticator overhead — and Weibo's costs
+exceed the 6-attribute datasets' at every size.
+"""
+
+import pytest
+
+from repro.experiments import fig5def
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+
+
+@pytest.mark.parametrize("dataset", ["Infocom06", "Sigcomm09", "Weibo"])
+def test_fig5def_comm_cost(dataset, benchmark, save_result):
+    result = benchmark.pedantic(
+        fig5def.run, args=(dataset,), kwargs={"sizes": SIZES},
+        rounds=1, iterations=1,
+    )
+    save_result(f"fig5def_comm_cost_{dataset.lower()}", result)
+
+    d = 17 if dataset == "Weibo" else 6
+    pm = result.column("PM (bit)")
+    pmv = result.column("PM+V (bit)")
+    ks = result.column("entropy (bit)")
+
+    # linear in k with slope d (analytic columns are exact)
+    for i in range(1, len(ks)):
+        assert pm[i] - pm[i - 1] == d * (ks[i] - ks[i - 1])
+        # the PM+V - PM gap is the (constant) authenticator overhead
+        assert pmv[i] - pm[i] == pmv[0] - pm[0]
+    assert pmv[0] > pm[0]
+
+    # the measured wire messages track the Section VII-C formulas
+    for row in result.rows:
+        analytic = row["PM+V (bit)"]
+        measured = row["measured PM+V (bit)"]
+        assert measured >= analytic * 0.9
+        assert measured <= analytic + 6000  # field framing + length prefixes
+
+
+def test_fig5def_weibo_costs_most(benchmark):
+    tables = benchmark.pedantic(
+        lambda: {
+            name: fig5def.run(name, sizes=(64, 512, 2048))
+            for name in ("Infocom06", "Sigcomm09", "Weibo")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for i in range(3):
+        assert (
+            tables["Weibo"].rows[i]["PM (bit)"]
+            > tables["Infocom06"].rows[i]["PM (bit)"]
+        )
+        assert (
+            tables["Weibo"].rows[i]["PM (bit)"]
+            > tables["Sigcomm09"].rows[i]["PM (bit)"]
+        )
+
+
+def test_homopm_communication_comparison(benchmark, save_result):
+    """Extension: homoPM's wire cost dwarfs S-MATCH's and grows faster."""
+    result = benchmark.pedantic(
+        fig5def.homopm_comparison, args=("Infocom06",),
+        rounds=1, iterations=1,
+    )
+    save_result("fig5def_homopm_comparison", result)
+    ratios = result.column("ratio")
+    assert all(r > 1 for r in ratios)
+    assert ratios[-1] > ratios[0]  # the gap widens with k
+    from repro.analysis import loglog_slope
+
+    ks = result.column("plaintext size (bit)")
+    homopm = result.column("homoPM (bit)")
+    smatch = result.column("S-MATCH PM (bit)")
+    # homoPM comm grows faster than S-MATCH's (its modulus scales with k)
+    assert loglog_slope(ks, homopm) > loglog_slope(ks, smatch) * 0.99
+
+
+def test_fig5def_benchmark(benchmark):
+    bits = benchmark.pedantic(
+        fig5def.comm_costs_bits,
+        args=(fig5def.DATASETS["Infocom06"], 64),
+        rounds=1,
+        iterations=1,
+    )
+    assert bits["PM+V"] > bits["PM"]

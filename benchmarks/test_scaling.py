@@ -1,0 +1,34 @@
+"""Communication scaling: ZLL13's two-party cost vs S-MATCH (paper §II).
+
+The related-work claim behind Table I: two-party schemes "introduce large
+communication cost when extended to a profile matching scheme in large
+scale".  Reproduction target: ZLL13's measured wire bits grow linearly in
+the community size while S-MATCH's stay constant, with the ratio exceeding
+an order of magnitude by N ~= 40.
+"""
+
+from repro.experiments import scaling
+
+
+def test_two_party_scaling(benchmark, save_result):
+    result = benchmark.pedantic(
+        scaling.run,
+        kwargs={"community_sizes": (5, 10, 20, 40)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("scaling_two_party", result)
+
+    zll = result.column("ZLL13 (bit)")
+    smatch = result.column("S-MATCH PM+V (bit)")
+    sizes = result.column("community size N")
+
+    # S-MATCH cost is independent of N
+    assert len(set(smatch)) == 1
+
+    # ZLL13 grows linearly: cost per peer is constant
+    per_peer = [z / (n - 1) for z, n in zip(zll, sizes)]
+    assert max(per_peer) < min(per_peer) * 1.5
+
+    # by N = 40 the two-party approach costs >= 10x more
+    assert result.rows[-1]["ratio"] >= 10

@@ -1,0 +1,29 @@
+"""Table II: dataset properties (entropy statistics and landmark counts)."""
+
+import pytest
+
+from repro.datasets import INFOCOM06, SIGCOMM09, WEIBO, analyze_spec
+from repro.experiments import table2
+
+PAPER = {
+    "Infocom06": dict(node=78, attrs=6, avg=3.10, mx=5.34, mn=0.82, l06=2, l08=1),
+    "Sigcomm09": dict(node=76, attrs=6, avg=3.40, mx=5.62, mn=0.86, l06=3, l08=1),
+    "Weibo": dict(node=1_000_000, attrs=17, avg=5.14, mx=9.21, mn=0.54, l06=5, l08=3),
+}
+
+
+def test_table2_dataset_properties(benchmark, save_result):
+    result = table2.run()
+    save_result("table2_datasets", result)
+
+    for row in result.rows:
+        paper = PAPER[row["Dataset"]]
+        assert row["Node"] == paper["node"]
+        assert row["#Attributes"] == paper["attrs"]
+        assert row["Entropy AVG"] == pytest.approx(paper["avg"], abs=0.01)
+        assert row["Entropy MAX"] == pytest.approx(paper["mx"], abs=0.01)
+        assert row["Entropy MIN"] == pytest.approx(paper["mn"], abs=0.01)
+        assert row["Landmark tau=0.6"] == paper["l06"]
+        assert row["Landmark tau=0.8"] == paper["l08"]
+
+    benchmark(lambda: [analyze_spec(s) for s in (INFOCOM06, SIGCOMM09, WEIBO)])

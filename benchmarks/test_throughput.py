@@ -1,0 +1,78 @@
+"""Operational throughput: the numbers a deployment would size against.
+
+Not a paper figure — a genuine pytest-benchmark suite measuring the three
+hot paths of a running service at the paper's parameters (64-bit
+plaintexts, theta = 8): client enrollment, server query handling, and
+client-side verification.
+"""
+
+import pytest
+
+from repro.datasets import INFOCOM06
+from repro.experiments.common import build_population, build_scheme
+from repro.net.messages import QueryRequest, UploadMessage
+from repro.server.service import SMatchServer
+
+
+@pytest.fixture(scope="module")
+def world():
+    pop = build_population(INFOCOM06, seed=33)
+    users = pop.generate(40)
+    scheme = build_scheme(INFOCOM06, schema=pop.schema, seed=33)
+    uploads, keys = scheme.enroll_population([u.profile for u in users])
+    server = SMatchServer(query_k=5)
+    for payload in uploads.values():
+        server.handle_upload(UploadMessage(payload=payload))
+    return pop, users, scheme, uploads, keys, server
+
+
+def test_enrollment_throughput(benchmark, world):
+    _, users, scheme, _, _, _ = world
+    profile = users[0].profile
+    payload, _ = benchmark(scheme.enroll, profile)
+    assert payload.user_id == profile.user_id
+
+
+def test_warm_query_throughput(benchmark, world):
+    _, users, _, _, _, server = world
+    request = QueryRequest(
+        query_id=1, timestamp=0, user_id=users[0].profile.user_id
+    )
+    server.handle_query(request)  # warm the sort cache
+    result = benchmark(server.handle_query, request)
+    assert result.query_id == 1
+
+
+def test_cold_query_throughput(benchmark, world):
+    _, users, _, _, _, server = world
+    request = QueryRequest(
+        query_id=2, timestamp=0, user_id=users[0].profile.user_id
+    )
+
+    def cold_query():
+        server.matcher.invalidate()
+        return server.handle_query(request)
+
+    result = benchmark(cold_query)
+    assert result.query_id == 2
+
+
+def test_verification_throughput(benchmark, world):
+    _, users, scheme, uploads, keys, server = world
+    uid = users[0].profile.user_id
+    result = server.handle_query(
+        QueryRequest(query_id=3, timestamp=0, user_id=uid)
+    )
+    if not result.entries:
+        pytest.skip("query user is in a singleton group")
+    entry = result.entries[0]
+    verdict = benchmark(scheme.verify, entry.auth, keys[uid])
+    assert isinstance(verdict, bool)
+
+
+def test_upload_message_encode_throughput(benchmark, world):
+    _, _, _, uploads, _, _ = world
+    payload = next(iter(uploads.values()))
+    message = UploadMessage(payload=payload)
+    encoded = benchmark(message.encode)
+    assert len(encoded) > 0

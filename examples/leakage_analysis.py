@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Why naive PPE fails on social data — the paper's Section IV, live.
+
+Walks the two failure modes that motivate S-MATCH:
+
+1. *Information leakage*: ordered known-plaintext pruning (Fig. 1) and
+   landmark frequency analysis against raw low-entropy attributes encrypted
+   directly with OPE under one shared key;
+2. *Key sharing*: a single colluding user exposing the entire population;
+
+then shows the S-MATCH countermeasures (entropy increase, chaining, fuzzy
+keys) shutting each attack down, with numbers.
+
+Run:  python examples/leakage_analysis.py
+"""
+
+from repro.attacks.collusion import collusion_attack, shared_key_exposure
+from repro.attacks.frequency import FrequencyAnalysis
+from repro.attacks.okpa import OkpaAdversary
+from repro.core.entropy import AttributeMapping
+from repro.crypto.ope import OPE, OpeParams
+from repro.datasets import INFOCOM06, ClusteredPopulation
+from repro.experiments.common import build_scheme
+from repro.utils.rand import SystemRandomSource
+from repro.utils.stats import entropy_from_probs
+
+
+def main() -> None:
+    rng = SystemRandomSource(seed=99)
+
+    # the Infocom06 landmark attribute (one dominant value, tau = 0.8)
+    idx = next(
+        i
+        for i, a in enumerate(INFOCOM06.attributes)
+        if a.landmark_window == (0.8, 1.0)
+    )
+    probs = INFOCOM06.distributions()[idx]
+    print(
+        f"attribute {INFOCOM06.attributes[idx].name!r}: "
+        f"{len(probs)} values, entropy {entropy_from_probs(probs):.2f} bits, "
+        f"landmark probability {max(probs):.2f}"
+    )
+
+    def sample():
+        u, acc = rng.random(), 0.0
+        for v, p in enumerate(probs):
+            acc += p
+            if u <= acc:
+                return v
+        return len(probs) - 1
+
+    values = [sample() for _ in range(200)]
+
+    # --- attack 1: OKPA search-space pruning -----------------------------------
+    ope = OPE(rng.randbytes(32), OpeParams(plaintext_bits=8))
+    adversary = OkpaAdversary(rng=rng)
+    population = sorted(set(values))
+    known = population[:1]
+    target = population[-1]
+    outcome = adversary.play(ope.encrypt, population, known, target)
+    print(
+        f"\n[OKPA] raw values: search space {outcome.search_space_size} "
+        f"-> guess probability {outcome.guess_probability:.2f}"
+    )
+
+    mapping = AttributeMapping(probs, k=32)
+    mapped = sorted({mapping.map_value(v, rng) for v in values})
+    ope32 = OPE(rng.randbytes(32), OpeParams(plaintext_bits=32))
+    outcome_mapped = adversary.play(
+        ope32.encrypt, mapped, mapped[:1], mapped[-1]
+    )
+    print(
+        f"[OKPA] after big-jump mapping: search space "
+        f"{outcome_mapped.search_space_size} "
+        f"-> guess probability {outcome_mapped.guess_probability:.4f}"
+    )
+    assert outcome_mapped.search_space_size >= outcome.search_space_size
+
+    # --- attack 2: landmark frequency analysis -----------------------------------
+    analysis = FrequencyAnalysis(probs)
+    naive_column = [ope.encrypt(v) for v in values]
+    naive = analysis.attack_column(naive_column, values)
+    mapped_column = [mapping.map_value(v, rng) for v in values]
+    defended = analysis.attack_column(mapped_column, values)
+    print(
+        f"\n[frequency] naive OPE column: {naive.accuracy:.0%} of users "
+        f"deanonymized; after one-to-N mapping: {defended.accuracy:.0%}"
+    )
+    assert naive.accuracy > defended.accuracy
+
+    # --- attack 3: collusion (PR-KK) ------------------------------------------------
+    population_obj = ClusteredPopulation(INFOCOM06, theta=8, rng=rng)
+    users = population_obj.generate(40)
+    scheme = build_scheme(INFOCOM06, schema=population_obj.schema, seed=99)
+    uploads, keys = scheme.enroll_population([u.profile for u in users])
+    colluder = users[0].profile.user_id
+    fuzzy = collusion_attack(uploads, colluder, keys[colluder])
+    shared = shared_key_exposure(list(uploads), colluder)
+    print(
+        f"\n[PR-KK] one shared key: {len(shared.exposed_users)}/40 users exposed "
+        f"(advantage {shared.advantage:.2f})\n"
+        f"[PR-KK] S-MATCH fuzzy keys: {len(fuzzy.exposed_users)}/40 exposed "
+        f"(advantage {fuzzy.advantage:.2f} = m/N, Theorem 2)"
+    )
+    assert fuzzy.advantage < shared.advantage
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""S-MATCH reproduction: verifiable privacy-preserving profile matching.
+
+The package layout mirrors the paper's system: `repro.core` is the S-MATCH
+scheme itself; the other subpackages are the substrates it stands on
+(crypto primitives, Reed-Solomon coding, number theory, networking, the
+untrusted server) plus the evaluation apparatus (datasets, baselines,
+attacks, experiments).
+"""
+
+__version__ = "1.0.0"

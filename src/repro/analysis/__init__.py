@@ -1,0 +1,5 @@
+"""Result post-processing: growth-law fitting and crossover detection."""
+
+from repro.analysis.fit import crossover_point, loglog_slope, scaling_factor
+
+__all__ = ["crossover_point", "loglog_slope", "scaling_factor"]

@@ -1,0 +1,94 @@
+"""Quantitative checks on measured curves.
+
+The reproduction criteria are statements about curve *shapes*: "homoPM
+grows ~cubically with the plaintext size", "PM and homoPM cross near k*",
+"cost is linear in N".  These helpers turn such statements into numbers the
+benchmarks can assert:
+
+* :func:`loglog_slope` — least-squares slope of log(y) against log(x): the
+  growth exponent of a power law (1 = linear, 2 = quadratic, ...);
+* :func:`crossover_point` — the x at which one measured series overtakes
+  another, log-interpolated between samples;
+* :func:`scaling_factor` — the mean ratio between two series (the "who wins
+  by what factor" number).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["loglog_slope", "crossover_point", "scaling_factor"]
+
+
+def _check_series(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise ParameterError("series lengths differ")
+    if len(xs) < 2:
+        raise ParameterError("need at least two points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ParameterError("log-scale fits need positive values")
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares growth exponent of ``y ~ x^slope``."""
+    _check_series(xs, ys)
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ParameterError("x values must not be constant")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    return sxy / sxx
+
+
+def crossover_point(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[float]:
+    """The x where series B overtakes series A (B grows past A).
+
+    Returns the log-interpolated crossing x, or ``None`` when one series
+    dominates over the whole range.  With multiple crossings the first is
+    returned.
+    """
+    _check_series(xs, ys_a)
+    _check_series(xs, ys_b)
+    diffs = [
+        math.log(b) - math.log(a) for a, b in zip(ys_a, ys_b)
+    ]
+    for i in range(1, len(xs)):
+        if diffs[i - 1] <= 0 < diffs[i] or diffs[i - 1] < 0 <= diffs[i]:
+            # linear interpolation in (log x, diff) space
+            lx0, lx1 = math.log(xs[i - 1]), math.log(xs[i])
+            d0, d1 = diffs[i - 1], diffs[i]
+            t = -d0 / (d1 - d0)
+            return math.exp(lx0 + t * (lx1 - lx0))
+    if diffs[0] > 0 and all(d > 0 for d in diffs):
+        return None  # B always above A
+    if diffs[0] < 0 and all(d < 0 for d in diffs):
+        return None  # A always above B
+    if any(d == 0 for d in diffs):
+        idx = diffs.index(0)
+        return float(xs[idx])
+    return None
+
+
+def scaling_factor(
+    ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float:
+    """Geometric-mean ratio B/A across the series."""
+    if len(ys_a) != len(ys_b) or not ys_a:
+        raise ParameterError("series must be non-empty and equal length")
+    if any(y <= 0 for y in ys_a) or any(y <= 0 for y in ys_b):
+        raise ParameterError("ratios need positive values")
+    log_ratios = [
+        math.log(b) - math.log(a) for a, b in zip(ys_a, ys_b)
+    ]
+    return math.exp(sum(log_ratios) / len(log_ratios))

@@ -1,0 +1,22 @@
+"""Attack models quantifying the Section-IV leakage problems.
+
+* :mod:`repro.attacks.okpa` — plaintext recovery under ordered known
+  plaintext attack (PR-OKPA, Definition 6 / Figure 1): order-based search
+  space pruning;
+* :mod:`repro.attacks.frequency` — ciphertext frequency analysis against
+  landmark attribute values (Definition 2);
+* :mod:`repro.attacks.collusion` — plaintext recovery under known key attack
+  (PR-KK, Definition 7): a user colludes with the server and shares a key.
+"""
+
+from repro.attacks.okpa import OkpaAdversary, okpa_search_space
+from repro.attacks.frequency import FrequencyAnalysis
+from repro.attacks.collusion import CollusionOutcome, collusion_attack
+
+__all__ = [
+    "OkpaAdversary",
+    "okpa_search_space",
+    "FrequencyAnalysis",
+    "CollusionOutcome",
+    "collusion_attack",
+]

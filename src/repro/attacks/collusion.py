@@ -1,0 +1,94 @@
+"""Plaintext recovery under known key attack (PR-KK, Definition 7).
+
+A user colludes with the untrusted server and hands over their profile key.
+The adversary hashes the key as an index, extracts the matching ciphertext
+group from the server, and decrypts it.
+
+* Against the **naive shared-key scheme** every user is in the one group, so
+  the adversary recovers the whole population: advantage 1.
+* Against **S-MATCH** only the colluder's own similarity cluster shares the
+  key: advantage ``m / N`` where ``m`` is the colluder's group size
+  (Theorem 2) — and the recovered "plaintexts" are the entropy-increased
+  mapped values of theta-close profiles, not raw attributes of strangers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.keygen import ProfileKey
+from repro.core.scheme import EncryptedProfile
+from repro.errors import ParameterError
+
+__all__ = ["CollusionOutcome", "collusion_attack", "shared_key_exposure"]
+
+
+@dataclass(frozen=True)
+class CollusionOutcome:
+    """What one colluding user exposes."""
+
+    colluder: int
+    exposed_users: Tuple[int, ...]
+    population: int
+
+    @property
+    def advantage(self) -> float:
+        """The PR-KK advantage m/N of Theorem 2."""
+        if self.population == 0:
+            return 0.0
+        return len(self.exposed_users) / self.population
+
+
+def collusion_attack(
+    uploads: Mapping[int, EncryptedProfile],
+    colluder: int,
+    colluder_key: ProfileKey,
+) -> CollusionOutcome:
+    """Run the PR-KK game: find every user whose data the shared key opens.
+
+    The adversary matches the hashed key index against the stored key
+    indexes — exactly the lookup the server performs — and claims every user
+    in the colluder's group (their OPE ciphertexts are now decryptable and
+    their authenticators forgeable).
+    """
+    if colluder not in uploads:
+        raise ParameterError(f"colluder {colluder} has no upload")
+    if uploads[colluder].key_index != colluder_key.index:
+        raise ParameterError("colluder key does not match their upload")
+    exposed = tuple(
+        sorted(
+            uid
+            for uid, payload in uploads.items()
+            if payload.key_index == colluder_key.index
+        )
+    )
+    return CollusionOutcome(
+        colluder=colluder,
+        exposed_users=exposed,
+        population=len(uploads),
+    )
+
+
+def shared_key_exposure(user_ids: Sequence[int], colluder: int) -> CollusionOutcome:
+    """The same game against a single-shared-key scheme: everyone is exposed."""
+    if colluder not in user_ids:
+        raise ParameterError("colluder must be a user")
+    return CollusionOutcome(
+        colluder=colluder,
+        exposed_users=tuple(sorted(user_ids)),
+        population=len(user_ids),
+    )
+
+
+def worst_case_advantage(
+    uploads: Mapping[int, EncryptedProfile], keys: Mapping[int, ProfileKey]
+) -> float:
+    """Max PR-KK advantage over all possible colluders (largest group / N)."""
+    if not uploads:
+        raise ParameterError("empty population")
+    best = 0.0
+    for uid, key in keys.items():
+        outcome = collusion_attack(uploads, uid, key)
+        best = max(best, outcome.advantage)
+    return best

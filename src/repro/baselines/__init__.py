@@ -1,0 +1,37 @@
+"""Baseline schemes S-MATCH is compared against.
+
+* :mod:`repro.baselines.homopm` — the Paillier-based fine-grained matching
+  of Zhang et al. (INFOCOM 2012), the paper's performance baseline;
+* :mod:`repro.baselines.psi` — attribute-level private set intersection, the
+  family of FindU/VENETA/Gmatch-style schemes (cannot differentiate
+  attribute values — Table I's "fine-grained" row);
+* :mod:`repro.baselines.naive_ope` — PPE applied directly to raw attributes
+  with one shared key: the insecure strawman of Section IV that motivates
+  S-MATCH, used by the attack experiments;
+* :mod:`repro.baselines.base` — scheme capability descriptors backing the
+  Table-I feature comparison.
+"""
+
+from repro.baselines.base import Capabilities, SCHEME_CAPABILITIES
+from repro.baselines.bloom import BloomFilter, Ncd13Party
+from repro.baselines.homopm import HomoPM, HomoPMQuery
+from repro.baselines.lgd12 import Lgd12Initiator, Lgd12Responder
+from repro.baselines.psi import PsiMatcher, PsiParty
+from repro.baselines.naive_ope import NaiveOpeScheme
+from repro.baselines.zll13 import Zll13Initiator, Zll13Responder
+
+__all__ = [
+    "Capabilities",
+    "SCHEME_CAPABILITIES",
+    "BloomFilter",
+    "Ncd13Party",
+    "HomoPM",
+    "HomoPMQuery",
+    "Lgd12Initiator",
+    "Lgd12Responder",
+    "PsiMatcher",
+    "PsiParty",
+    "NaiveOpeScheme",
+    "Zll13Initiator",
+    "Zll13Responder",
+]

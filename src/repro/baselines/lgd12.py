@@ -1,0 +1,148 @@
+"""LGD12: blind-vector-transformed matching with runaway-attack protection.
+
+Li, Gao, Du — "PriMatch: Fairness-aware Secure Friend Discovery Protocol"
+(GLOBECOM 2012).  The paper positions it as an improvement over homoPM
+(ZZS12) "by introducing a novel blind vector transformation technique to
+protect the profile matching process against the runaway attack": a party
+who aborts the protocol right after receiving the other side's last message
+must not walk away with the result while leaving the peer empty-handed.
+
+Modelled protocol (Paillier, honest-but-curious):
+
+1. The **initiator** sends the homoPM-style encrypted query (E(a_i),
+   E(a_i^2)).
+2. The **responder** computes the encrypted squared distance, then applies
+   the *blind vector transformation*: instead of returning E(dist), it
+   returns ``E(r * dist + s)`` for fresh secret blinds ``r > 0, s``, plus a
+   binding commitment ``h(r || s)``.
+3. The initiator decrypts — obtaining only the blinded value ``r*dist + s``,
+   which is statistically useless without ``(r, s)`` — and acknowledges.
+4. Only after the acknowledgment does the responder *open* the commitment,
+   revealing ``(r, s)``; the initiator checks the commitment and recovers
+   ``dist``.
+
+Running away after step 3 leaves the initiator with a blinded number and
+the responder with proof of service; tampering with the opened blinds is
+caught by the commitment.  The tests drive both misbehaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.baselines.homopm import HomoPM, HomoPMQuery
+from repro.crypto.kdf import sha256
+from repro.crypto.paillier import PaillierCiphertext
+from repro.errors import ParameterError, VerificationError
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["BlindedDistance", "BlindOpening", "Lgd12Responder", "Lgd12Initiator"]
+
+
+@dataclass(frozen=True)
+class BlindedDistance:
+    """Step-2 message: blinded encrypted distance plus commitment."""
+
+    ciphertext: PaillierCiphertext
+    commitment: bytes
+
+
+@dataclass(frozen=True)
+class BlindOpening:
+    """Step-4 message: the blinds, opening the commitment."""
+
+    r: int
+    s: int
+
+
+def _commit(r: int, s: int) -> bytes:
+    return sha256(
+        b"lgd12-blind",
+        r.to_bytes(32, "big"),
+        s.to_bytes(64, "big"),
+    )
+
+
+class Lgd12Responder:
+    """Holds a candidate profile; blinds distances before release."""
+
+    def __init__(
+        self,
+        homo: HomoPM,
+        values: Sequence[int],
+        rng: Optional[SystemRandomSource] = None,
+    ) -> None:
+        self._homo = homo
+        self._values = list(values)
+        self._rng = rng or SystemRandomSource()
+        self._pending: Optional[Tuple[int, int]] = None
+        self.acknowledged = False
+
+    def respond(self, query: HomoPMQuery) -> BlindedDistance:
+        """Steps 2: blind-vector-transformed distance + commitment."""
+        if self._pending is not None:
+            raise ParameterError("previous session not completed")
+        pk = query.public_key
+        dist_ct = self._homo.distance_ciphertext(query, self._values)
+        r = self._rng.randrange(1, 1 << 32)
+        s = self._rng.randrange(0, 1 << 64)
+        blinded = pk.add_plain(pk.mul_plain(dist_ct, r), s)
+        self._pending = (r, s)
+        return BlindedDistance(
+            ciphertext=blinded, commitment=_commit(r, s)
+        )
+
+    def open_blinds(self, acknowledgment: bool) -> BlindOpening:
+        """Step 4: release the blinds only after acknowledgment."""
+        if self._pending is None:
+            raise ParameterError("no blinded distance outstanding")
+        if not acknowledgment:
+            raise VerificationError(
+                "refusing to open blinds without acknowledgment"
+            )
+        self.acknowledged = True
+        r, s = self._pending
+        self._pending = None
+        return BlindOpening(r=r, s=s)
+
+
+class Lgd12Initiator:
+    """Runs the fair exchange and recovers the true distance."""
+
+    def __init__(
+        self,
+        homo: HomoPM,
+        values: Sequence[int],
+    ) -> None:
+        self._homo = homo
+        self._values = list(values)
+        self.query: Optional[HomoPMQuery] = None
+        self._blinded_value: Optional[int] = None
+        self._commitment: Optional[bytes] = None
+
+    def start(self) -> HomoPMQuery:
+        """Begin the protocol: produce the initiator's first message."""
+        self.query = self._homo.prepare_query(self._values)
+        return self.query
+
+    def receive_blinded(self, message: BlindedDistance) -> int:
+        """Step 3: decrypt; returns the (useless alone) blinded value."""
+        if self.query is None:
+            raise ParameterError("start() must run first")
+        self._blinded_value = self._homo.keypair.decrypt(message.ciphertext)
+        self._commitment = message.commitment
+        return self._blinded_value
+
+    def finish(self, opening: BlindOpening) -> int:
+        """Step 5: verify the commitment and unblind the distance."""
+        if self._blinded_value is None or self._commitment is None:
+            raise ParameterError("no blinded value received yet")
+        if _commit(opening.r, opening.s) != self._commitment:
+            raise VerificationError("blind opening fails the commitment")
+        if opening.r <= 0:
+            raise VerificationError("invalid blind factor")
+        numerator = self._blinded_value - opening.s
+        if numerator % opening.r != 0:
+            raise VerificationError("blinds inconsistent with ciphertext")
+        return numerator // opening.r

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a front door:
+
+* ``demo`` — the quickstart flow (enroll a tiny community, query, verify);
+* ``datasets`` — print the Table-II statistics of the synthetic datasets;
+* ``experiment <name>`` — run one table/figure driver and print its table;
+* ``simulate`` — run the mobile-service lifecycle simulation;
+* ``attack <name>`` — run one of the Section-IV attack demonstrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": lambda a: _mod().table1.run(),
+    "table2": lambda a: _mod().table2.run(),
+    "fig1": lambda a: _mod().fig1.paper_panels(),
+    "fig4a": lambda a: _mod().fig4a.run(),
+    "fig4b": lambda a: _fig4b(a),
+    "fig4cde": lambda a: _mod().fig4cde.run(a.dataset, sizes=(64, 256, 1024)),
+    "fig5abc": lambda a: _mod().fig5abc.run(a.dataset, sizes=(64, 256, 1024)),
+    "fig5def": lambda a: _mod().fig5def.run(a.dataset),
+    "costmodel": lambda a: _mod().costmodel.run(),
+    "scaling": lambda a: _mod().scaling.run(),
+    "testbed": lambda a: _mod().testbed.run(a.dataset, sizes=(64, 256, 1024)),
+}
+
+_ATTACKS = ("chaining", "entropy_increase", "ope_split", "key_sharing",
+            "erasure_decoding", "adaptive_ope")
+
+
+def _mod():
+    import repro.experiments as experiments
+
+    return experiments
+
+
+def _fig4b(args):
+    from repro.experiments import fig4b
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(
+        name="Fig. 4(b): true positive rate vs theta",
+        columns=["theta", "Infocom06", "Sigcomm09", "Weibo"],
+    )
+    for theta in (5, 8, 10):
+        row = {"theta": theta}
+        for spec in (fig4b.INFOCOM06, fig4b.SIGCOMM09, fig4b.WEIBO):
+            row[spec.name] = fig4b.measure_tpr(
+                spec, theta, num_users=args.users, seeds=(1, 2)
+            )
+        result.add_row(**row)
+    return result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S-MATCH (DSN 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the quickstart demo")
+
+    sub.add_parser("datasets", help="print Table-II dataset statistics")
+
+    exp = sub.add_parser("experiment", help="run one table/figure driver")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument(
+        "--dataset",
+        default="Infocom06",
+        choices=["Infocom06", "Sigcomm09", "Weibo"],
+    )
+    exp.add_argument("--users", type=int, default=40)
+
+    simp = sub.add_parser("simulate", help="run the lifecycle simulation")
+    simp.add_argument("--users", type=int, default=30)
+    simp.add_argument("--steps", type=int, default=10)
+    simp.add_argument("--seed", type=int, default=1)
+
+    att = sub.add_parser("attack", help="run one ablation/attack demo")
+    att.add_argument("name", choices=sorted(_ATTACKS))
+
+    return parser
+
+
+def _cmd_demo() -> int:
+    import runpy
+    import pathlib
+
+    demo = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "examples"
+        / "quickstart.py"
+    )
+    if demo.exists():
+        runpy.run_path(str(demo), run_name="__main__")
+        return 0
+    # fall back to an inline mini-demo when examples/ is not shipped
+    from repro.core.profile import Profile, ProfileSchema
+    from repro.core.scheme import SMatch, SMatchParams
+
+    schema = ProfileSchema.uniform(["a", "b", "c"], 1 << 12)
+    scheme = SMatch(SMatchParams(schema=schema, theta=8, plaintext_bits=64))
+    profile = Profile(1, schema, (40, 400, 4000))
+    payload, key = scheme.enroll(profile)
+    print(f"enrolled user 1 into group {payload.key_index.hex()[:12]}")
+    print(f"verification self-check: {scheme.verify(payload.auth, key)}")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from repro.experiments import table2
+
+    print(table2.run().format())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = _EXPERIMENTS[args.name](args)
+    print(result.format())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.datasets import INFOCOM06
+    from repro.sim import MobileServiceSimulation, SimConfig
+
+    sim = MobileServiceSimulation(
+        INFOCOM06,
+        SimConfig(num_users=args.users, steps=args.steps, seed=args.seed),
+    )
+    sim.run()
+    for key, value in sim.summary().items():
+        print(f"{key:>22}: {value}")
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.experiments import ablations
+
+    fn = getattr(ablations, f"{args.name}_ablation")
+    print(fn().format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Mobile-client substrate: device cost models and the client workflow."""
+
+from repro.client.device import DeviceProfile, NEXUS_ONE, PC_SERVER
+from repro.client.client import MobileClient, VerifiedMatches
+
+__all__ = [
+    "DeviceProfile",
+    "NEXUS_ONE",
+    "PC_SERVER",
+    "MobileClient",
+    "VerifiedMatches",
+]

@@ -1,0 +1,42 @@
+"""The S-MATCH core: the paper's primary contribution.
+
+The scheme tuple of paper Definition 5 —
+``S-MATCH = (Keygen, InitData, Enc, Match, Auth, Vf)`` — is implemented by
+:class:`repro.core.scheme.SMatch`, built from:
+
+* :mod:`repro.core.profile` — profiles, schemas, the Definition-3 distance;
+* :mod:`repro.core.entropy` — the big-jump one-to-N entropy-increase mapping;
+* :mod:`repro.core.chaining` — random-order attribute chaining;
+* :mod:`repro.core.keygen` — fuzzy key generation (RSD + RSA-OPRF);
+* :mod:`repro.core.verification` — the reversed-fuzzy-commitment Auth/Vf;
+* :mod:`repro.core.matching` — rank-sum distance, kNN and MAX-distance
+  matching over OPE ciphertext chains.
+"""
+
+from repro.core.profile import AttributeSpec, Profile, ProfileSchema, profile_distance
+from repro.core.entropy import BigJumpMapper, AttributeMapping
+from repro.core.chaining import AttributeChainer
+from repro.core.keygen import ProfileKey, ProfileKeygen
+from repro.core.verification import AuthInfo, Verifier
+from repro.core.matching import knn_match, max_distance_match, rank_sum
+from repro.core.scheme import EncryptedProfile, SMatch, SMatchParams
+
+__all__ = [
+    "AttributeSpec",
+    "Profile",
+    "ProfileSchema",
+    "profile_distance",
+    "BigJumpMapper",
+    "AttributeMapping",
+    "AttributeChainer",
+    "ProfileKey",
+    "ProfileKeygen",
+    "AuthInfo",
+    "Verifier",
+    "knn_match",
+    "max_distance_match",
+    "rank_sum",
+    "EncryptedProfile",
+    "SMatch",
+    "SMatchParams",
+]

@@ -1,0 +1,90 @@
+"""Fuzzy profile-key generation (paper Algorithm Keygen).
+
+``Keygen(Au)``:
+
+1. ``T(u) <- RSD(Au, theta)`` — quantize + Reed-Solomon decode the profile
+   to its fuzzy vector (:mod:`repro.rs.fuzzy`),
+2. ``K' <- H(T(u))``,
+3. ``Kup <- RSA-OPRF(K')`` — strengthen through the oblivious PRF so an
+   offline attacker cannot brute-force candidate profiles into keys, and the
+   OPRF server learns nothing about the profile.
+
+Users with distance-close profiles (Definition 3) obtain the *same* profile
+key, which is what confines a key-compromise to one similarity cluster
+(the PR-KK bound m/N of Theorem 2) and lets the server group ciphertexts
+without learning profile contents.
+
+The server-side index is ``h(Kup)`` — the hashed key from the upload message
+of Eq. (3) — never the key itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.profile import Profile
+from repro.crypto.kdf import hkdf, sha256
+from repro.crypto.oprf import RsaOprfClient, RsaOprfServer
+from repro.errors import ParameterError
+from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
+from repro.utils.instrument import count_op
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["ProfileKey", "ProfileKeygen"]
+
+
+@dataclass(frozen=True)
+class ProfileKey:
+    """A derived profile key and its public server-side index."""
+
+    key: bytes
+    index: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key) != 32 or len(self.index) != 32:
+            raise ParameterError("profile key and index must be 32 bytes")
+
+    def subkey(self, purpose: bytes) -> bytes:
+        """Derive an independent purpose-bound key (OPE, AES, chaining)."""
+        return hkdf(self.key, info=b"smatch-subkey|" + purpose, length=32)
+
+
+class ProfileKeygen:
+    """Client-side key generation against an OPRF service."""
+
+    def __init__(
+        self,
+        fuzzy_params: FuzzyParams,
+        oprf_server: RsaOprfServer,
+        rng: Optional[SystemRandomSource] = None,
+    ) -> None:
+        self.extractor = FuzzyExtractor(fuzzy_params)
+        self._oprf_server = oprf_server
+        self._rng = rng or SystemRandomSource()
+
+    def derive(
+        self,
+        profile: Profile,
+        erasures: Optional[Sequence[int]] = None,
+    ) -> ProfileKey:
+        """Run the full Keygen pipeline for a profile.
+
+        ``erasures`` optionally marks unreliable attribute positions for the
+        erasure-augmented decoding mode (see :class:`FuzzyExtractor`).
+        """
+        count_op("keygen")
+        k_prime = self.extractor.key_material(profile.values, erasures=erasures)
+        client = RsaOprfClient(self._oprf_server.public_key, rng=self._rng)
+        key = client.evaluate(k_prime, self._oprf_server)
+        index = sha256(b"smatch-key-index", key)
+        return ProfileKey(key=key, index=index)
+
+    def derive_from_values(self, values: Sequence[int]) -> bytes:
+        """Key material only (no OPRF round): ``K' = H(T(v))``.
+
+        Used by the attack models, which assume the adversary has *not*
+        interacted with the OPRF server — exactly the offline brute-force the
+        OPRF blocks.
+        """
+        return self.extractor.key_material(values)

@@ -1,0 +1,140 @@
+"""Profiles, schemas, and the paper's profile distance.
+
+A *profile* is an ordered series of integer attribute values (paper Section
+V-A: "each user has a unique ID and shares the same social profile format,
+where each attribute value a_i is in Z_n").  A :class:`ProfileSchema`
+describes that shared format: the attribute names and each attribute's value
+domain.
+
+Definition 3 gives the profile distance used by the fuzzy key generation:
+``||Au - Av|| = MAX_i { |a_i^(u) - a_i^(v)| }`` — the infinity norm over
+per-attribute differences (the paper calls it "Euclidean distance" but the
+formula is the Chebyshev/max norm; we implement the formula).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["AttributeSpec", "ProfileSchema", "Profile", "profile_distance"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of the shared profile format.
+
+    Attributes:
+        name: human-readable attribute name (e.g. ``"education"``).
+        cardinality: number of distinct raw values; raw values are integers
+            in ``[0, cardinality)``.
+    """
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("attribute name must be non-empty")
+        if self.cardinality < 1:
+            raise ParameterError(
+                f"attribute {self.name!r} needs cardinality >= 1"
+            )
+
+    def check_value(self, value: int) -> int:
+        """Validate that a raw value is in range; returns it."""
+        if not 0 <= value < self.cardinality:
+            raise ParameterError(
+                f"value {value} out of range for attribute {self.name!r} "
+                f"(cardinality {self.cardinality})"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ProfileSchema:
+    """The shared profile format: an ordered tuple of attribute specs."""
+
+    attributes: Tuple[AttributeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ParameterError("schema needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate attribute names in {names}")
+
+    @classmethod
+    def of(cls, *specs: AttributeSpec) -> "ProfileSchema":
+        """Build a schema from attribute specs."""
+        return cls(attributes=tuple(specs))
+
+    @classmethod
+    def uniform(cls, names: Iterable[str], cardinality: int) -> "ProfileSchema":
+        """A schema where every attribute has the same cardinality."""
+        return cls(
+            attributes=tuple(AttributeSpec(n, cardinality) for n in names)
+        )
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def names(self) -> List[str]:
+        """Attribute names in schema order."""
+        return [a.name for a in self.attributes]
+
+    def index_of(self, name: str) -> int:
+        """Position of a named attribute in the schema."""
+        for i, spec in enumerate(self.attributes):
+            if spec.name == name:
+                return i
+        raise ParameterError(f"no attribute named {name!r}")
+
+    def check_values(self, values: Sequence[int]) -> Tuple[int, ...]:
+        """Validate a full value tuple against the schema."""
+        if len(values) != len(self.attributes):
+            raise ParameterError(
+                f"profile has {len(values)} values, schema expects "
+                f"{len(self.attributes)}"
+            )
+        return tuple(
+            spec.check_value(v) for spec, v in zip(self.attributes, values)
+        )
+
+
+@dataclass(frozen=True)
+class Profile:
+    """A user's social profile: identity plus attribute values."""
+
+    user_id: int
+    schema: ProfileSchema
+    values: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.user_id < 1:
+            raise ParameterError("user_id must be a positive integer")
+        object.__setattr__(
+            self, "values", self.schema.check_values(self.values)
+        )
+
+    def value_of(self, name: str) -> int:
+        """This profile's value for a named attribute."""
+        return self.values[self.schema.index_of(name)]
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for reporting and assertions)."""
+        return dict(zip(self.schema.names, self.values))
+
+    def with_values(self, values: Sequence[int]) -> "Profile":
+        """Copy of this profile with different attribute values."""
+        return Profile(self.user_id, self.schema, tuple(values))
+
+
+def profile_distance(a: Profile, b: Profile) -> int:
+    """Paper Definition 3: ``MAX_i |a_i - b_i|`` over attribute values."""
+    if a.schema != b.schema:
+        raise ParameterError("profiles use different schemas")
+    return max(abs(x - y) for x, y in zip(a.values, b.values))

@@ -1,0 +1,262 @@
+"""The S-MATCH scheme facade (paper Definition 5 and Figure 3).
+
+``S-MATCH = (Keygen, InitData, Enc, Match, Auth, Vf)``:
+
+* ``Keygen`` / ``InitData`` / ``Enc`` / ``Auth`` / ``Vf`` run on the client
+  (this module / :mod:`repro.client`),
+* ``Match`` runs on the untrusted server (:mod:`repro.server`), re-exported
+  here as :meth:`SMatch.match_in_group` for library use without the
+  client/server machinery.
+
+A user's upload is Eq. (3):
+``u -> S : ID_u, h(K_up), E_Kup(A'_1) || ... || E_Kup(A'_n)`` plus the
+authentication information ``ciph_u``; :class:`EncryptedProfile` is that
+message's payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.chaining import AttributeChainer
+from repro.core.entropy import BigJumpMapper
+from repro.core.keygen import ProfileKey, ProfileKeygen
+from repro.core.matching import knn_match, max_distance_match
+from repro.core.profile import Profile, ProfileSchema
+from repro.core.verification import AuthInfo, Verifier
+from repro.crypto.ope import OPE, OpeParams
+from repro.crypto.oprf import RsaOprfServer
+from repro.errors import ParameterError
+from repro.ntheory.groups import SchnorrGroup
+from repro.rs.fuzzy import FuzzyParams
+from repro.utils.instrument import count_op
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["SMatchParams", "EncryptedProfile", "SMatch"]
+
+
+@dataclass(frozen=True)
+class SMatchParams:
+    """All public parameters of an S-MATCH deployment.
+
+    Attributes:
+        schema: the shared profile format.
+        theta: RS-decoder threshold (Definition 3 closeness bound).
+        plaintext_bits: ``k`` — entropy-increased attribute size in bits.
+        ope_expansion_bits: extra ciphertext bits for the OPE range
+            (0 reproduces the paper's N = M setting).
+        delta: big-jump mapping Delta (None = slot capacity, max entropy).
+        parity_symbols: RS parity budget for the fuzzy extractor
+            (None = library default).
+        order_method: "rank" (Definition 4 literally) or "value" (the
+            paper's worked example).
+        query_k: number of matching results a query returns (paper uses 5).
+    """
+
+    schema: ProfileSchema
+    theta: int = 8
+    plaintext_bits: int = 64
+    ope_expansion_bits: int = 0
+    delta: Optional[int] = None
+    parity_symbols: Optional[int] = None
+    order_method: str = "rank"
+    query_k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.query_k < 1:
+            raise ParameterError("query_k must be >= 1")
+        if self.order_method not in ("rank", "value"):
+            raise ParameterError("order_method must be 'rank' or 'value'")
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of profile attributes."""
+        return len(self.schema)
+
+    @property
+    def fuzzy_params(self) -> FuzzyParams:
+        """The fuzzy-keygen parameters derived from these settings."""
+        return FuzzyParams(
+            num_attributes=self.num_attributes,
+            theta=self.theta,
+            parity_symbols=self.parity_symbols,
+        )
+
+    @property
+    def ope_params(self) -> OpeParams:
+        """The OPE domain/range parameters derived from these settings."""
+        return OpeParams(
+            plaintext_bits=self.plaintext_bits,
+            expansion_bits=self.ope_expansion_bits,
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedProfile:
+    """The payload a user uploads to the untrusted server (Eq. 3)."""
+
+    user_id: int
+    key_index: bytes
+    chain: Tuple[int, ...]  # per-attribute OPE ciphertexts, chain order
+    auth: AuthInfo
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ParameterError("encrypted chain must be non-empty")
+        if len(self.key_index) != 32:
+            raise ParameterError("key index must be 32 bytes")
+        if self.auth.user_id != self.user_id:
+            raise ParameterError("authenticator bound to a different user")
+
+    def wire_bits(self, id_bits: int, ciphertext_bits: int) -> int:
+        """Analytic size on the wire (the paper's Section VII-C formula).
+
+        ``l_id + l_h + l_ciph + d * N`` where ``N`` is the OPE ciphertext
+        length and ``l_ciph`` the authenticator length.
+        """
+        return (
+            id_bits
+            + len(self.key_index) * 8
+            + self.auth.wire_size * 8
+            + len(self.chain) * ciphertext_bits
+        )
+
+
+class SMatch:
+    """A configured S-MATCH instance: the six algorithms of Definition 5."""
+
+    def __init__(
+        self,
+        params: SMatchParams,
+        oprf_server: Optional[RsaOprfServer] = None,
+        mapper: Optional[BigJumpMapper] = None,
+        group: Optional[SchnorrGroup] = None,
+        rng: Optional[SystemRandomSource] = None,
+    ) -> None:
+        self.params = params
+        self._rng = rng or SystemRandomSource()
+        self.oprf_server = oprf_server or RsaOprfServer(bits=1024, rng=self._rng)
+        self.mapper = mapper or BigJumpMapper.uniform(
+            params.schema, params.plaintext_bits, params.delta
+        )
+        if self.mapper.k != params.plaintext_bits:
+            raise ParameterError("mapper bit size disagrees with params")
+        self.keygen_ = ProfileKeygen(
+            params.fuzzy_params, self.oprf_server, rng=self._rng
+        )
+        self.verifier = Verifier(group)
+
+    # -- Definition 5 algorithms ------------------------------------------------
+
+    def keygen(self, profile: Profile) -> ProfileKey:
+        """``Kup <- Keygen(Au)``: RSD + H + RSA-OPRF."""
+        return self.keygen_.derive(profile)
+
+    def init_data(self, profile: Profile) -> List[int]:
+        """``Mu <- InitData(Au)``: the entropy-increase step (one-to-N)."""
+        count_op("init_data")
+        return self.mapper.map_profile(profile.values, rng=self._rng)
+
+    def encrypt(
+        self, profile: Profile, key: ProfileKey, mapped: Optional[Sequence[int]] = None
+    ) -> Tuple[int, ...]:
+        """``Cu <- Enc(Mu)``: chain in key-derived random order, then OPE.
+
+        Returns the per-attribute ciphertext chain
+        ``E(A'_1) || ... || E(A'_d)``.
+        """
+        if mapped is None:
+            mapped = self.init_data(profile)
+        chainer = AttributeChainer(
+            key.subkey(b"chain"),
+            self.params.num_attributes,
+            self.params.plaintext_bits,
+        )
+        ope = OPE(key.subkey(b"ope"), self.params.ope_params)
+        chained = chainer.chain(list(mapped))
+        return tuple(ope.encrypt(v) for v in chained)
+
+    def auth(
+        self, profile: Profile, key: ProfileKey, secret: Optional[int] = None
+    ) -> AuthInfo:
+        """``ciph_u <- Auth(u)``: the verification commitment."""
+        if secret is None:
+            secret = self.verifier.make_secret(self._rng)
+        return self.verifier.auth(profile.user_id, secret, key, rng=self._rng)
+
+    def verify(self, auth_info: AuthInfo, key: ProfileKey) -> bool:
+        """``b <- Vf(ID_v, ciph_v, u)``: check a claimed match."""
+        return self.verifier.verify(auth_info, key)
+
+    def match_in_group(
+        self,
+        group: Mapping[int, EncryptedProfile],
+        query_user: int,
+        k: Optional[int] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """``R <- Match(u, C)`` within one key group (server-side logic).
+
+        ``weights`` optionally emphasize attributes (by chain position);
+        the paper's worked example speaks of attributes "with equal
+        weights", which is the default.
+        """
+        chains = {uid: ep.chain for uid, ep in group.items()}
+        return knn_match(
+            chains,
+            query_user,
+            k if k is not None else self.params.query_k,
+            method=self.params.order_method,
+            weights=weights,
+        )
+
+    def match_within_distance(
+        self,
+        group: Mapping[int, EncryptedProfile],
+        query_user: int,
+        max_distance: int,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """MAX-distance matching variant."""
+        chains = {uid: ep.chain for uid, ep in group.items()}
+        return max_distance_match(
+            chains,
+            query_user,
+            max_distance,
+            method=self.params.order_method,
+            weights=weights,
+        )
+
+    # -- convenience -----------------------------------------------------------
+
+    def enroll(
+        self, profile: Profile, secret: Optional[int] = None
+    ) -> Tuple[EncryptedProfile, ProfileKey]:
+        """Full client pipeline: Keygen + InitData + Enc + Auth.
+
+        Returns the upload payload and the user's profile key (which the
+        user retains for querying and verification).
+        """
+        key = self.keygen(profile)
+        chain = self.encrypt(profile, key)
+        auth_info = self.auth(profile, key, secret)
+        payload = EncryptedProfile(
+            user_id=profile.user_id,
+            key_index=key.index,
+            chain=chain,
+            auth=auth_info,
+        )
+        return payload, key
+
+    def enroll_population(
+        self, profiles: Sequence[Profile]
+    ) -> Tuple[Dict[int, EncryptedProfile], Dict[int, ProfileKey]]:
+        """Enroll many users; returns (uploads by id, keys by id)."""
+        uploads: Dict[int, EncryptedProfile] = {}
+        keys: Dict[int, ProfileKey] = {}
+        for profile in profiles:
+            payload, key = self.enroll(profile)
+            uploads[profile.user_id] = payload
+            keys[profile.user_id] = key
+        return uploads, keys

@@ -1,0 +1,37 @@
+"""Cryptographic substrate, implemented from scratch.
+
+Everything S-MATCH and its homomorphic baseline need: AES (with CTR mode and
+encrypt-then-MAC), SHA-2-based KDF/PRF helpers, RSA and the RSA-OPRF blind
+evaluation protocol, the Paillier cryptosystem, order-preserving encryption,
+and distance-preserving encryption.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import AeadCiphertext, EtMCipher, ctr_keystream
+from repro.crypto.kdf import hkdf, hash_to_int, prf, sha256
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
+from repro.crypto.oprf import RsaOprfClient, RsaOprfServer
+from repro.crypto.paillier import PaillierKeyPair, PaillierPublicKey
+from repro.crypto.ope import OPE, AdaptiveOPE, OpeParams
+from repro.crypto.dpe import DPE
+
+__all__ = [
+    "AES",
+    "AeadCiphertext",
+    "EtMCipher",
+    "ctr_keystream",
+    "hkdf",
+    "hash_to_int",
+    "prf",
+    "sha256",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "RsaOprfClient",
+    "RsaOprfServer",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "OPE",
+    "AdaptiveOPE",
+    "OpeParams",
+    "DPE",
+]

@@ -1,0 +1,203 @@
+"""AES block cipher (FIPS-197), pure Python.
+
+Supports 128/192/256-bit keys.  The verification protocol uses AES-256 in CTR
+mode (paper Section VIII: "AES in CTR mode with random IV was utilized"), and
+the secure channel uses AES-CTR inside encrypt-then-MAC.
+
+The implementation is the classic table-free byte-oriented one: S-box lookups
+plus xtime for MixColumns.  It is deliberately straightforward — correctness
+(checked against the FIPS-197 known-answer vectors in the tests) matters more
+here than raw speed, and the cost experiments only rely on the *relative*
+cost of symmetric vs. homomorphic primitives, which pure Python preserves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import KeyError_, ParameterError
+from repro.utils.instrument import count_op
+
+__all__ = ["AES"]
+
+
+def _build_sbox() -> bytes:
+    """Construct the AES S-box from the field inverse + affine map."""
+    # multiplicative inverse table in GF(2^8) via log/antilog with generator 3
+    exp = [0] * 510
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by 3 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 510):
+        exp[i] = exp[i - 255]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        b = inv
+        res = 0
+        for _ in range(5):
+            res ^= b
+            b = ((b << 1) | (b >> 7)) & 0xFF
+        sbox[value] = res ^ 0x63
+    return bytes(sbox)
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = bytearray(256)
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+_INV_SBOX = bytes(_INV_SBOX)
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+def _xtime(b: int) -> int:
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiply (used by InvMixColumns)."""
+    res = 0
+    while b:
+        if b & 1:
+            res ^= a
+        a = _xtime(a)
+        b >>= 1
+    return res
+
+
+class AES:
+    """The AES block cipher with a fixed expanded key.
+
+    Use :meth:`encrypt_block` / :meth:`decrypt_block` on 16-byte blocks; for
+    bulk data use the modes in :mod:`repro.crypto.modes`.
+    """
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise KeyError_(
+                f"AES key must be 16/24/32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        nr = self.rounds
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # group into 16-byte round keys
+        return [
+            [b for w in words[4 * r : 4 * r + 4] for b in w]
+            for r in range(nr + 1)
+        ]
+
+    # -- round transforms (state is a flat 16-byte column-major list) --------
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        # state[c*4 + r]; row r rotated left by r
+        return [
+            state[(0) * 4 + 0], state[(1) * 4 + 1], state[(2) * 4 + 2], state[(3) * 4 + 3],
+            state[(1) * 4 + 0], state[(2) * 4 + 1], state[(3) * 4 + 2], state[(0) * 4 + 3],
+            state[(2) * 4 + 0], state[(3) * 4 + 1], state[(0) * 4 + 2], state[(1) * 4 + 3],
+            state[(3) * 4 + 0], state[(0) * 4 + 1], state[(1) * 4 + 2], state[(2) * 4 + 3],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        return [
+            state[(0) * 4 + 0], state[(3) * 4 + 1], state[(2) * 4 + 2], state[(1) * 4 + 3],
+            state[(1) * 4 + 0], state[(0) * 4 + 1], state[(3) * 4 + 2], state[(2) * 4 + 3],
+            state[(2) * 4 + 0], state[(1) * 4 + 1], state[(0) * 4 + 2], state[(3) * 4 + 3],
+            state[(3) * 4 + 0], state[(2) * 4 + 1], state[(1) * 4 + 2], state[(0) * 4 + 3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _xtime(a0) ^ (_xtime(a1) ^ a1) ^ a2 ^ a3
+            state[4 * c + 1] = a0 ^ _xtime(a1) ^ (_xtime(a2) ^ a2) ^ a3
+            state[4 * c + 2] = a0 ^ a1 ^ _xtime(a2) ^ (_xtime(a3) ^ a3)
+            state[4 * c + 3] = (_xtime(a0) ^ a0) ^ a1 ^ a2 ^ _xtime(a3)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _gmul(a0, 14) ^ _gmul(a1, 11) ^ _gmul(a2, 13) ^ _gmul(a3, 9)
+            state[4 * c + 1] = _gmul(a0, 9) ^ _gmul(a1, 14) ^ _gmul(a2, 11) ^ _gmul(a3, 13)
+            state[4 * c + 2] = _gmul(a0, 13) ^ _gmul(a1, 9) ^ _gmul(a2, 14) ^ _gmul(a3, 11)
+            state[4 * c + 3] = _gmul(a0, 11) ^ _gmul(a1, 13) ^ _gmul(a2, 9) ^ _gmul(a3, 14)
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    # -- public block API --------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ParameterError("AES block must be 16 bytes")
+        count_op("aes_block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.rounds):
+            self._sub_bytes(state)
+            state = self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != self.BLOCK_SIZE:
+            raise ParameterError("AES block must be 16 bytes")
+        count_op("aes_block")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,106 @@
+"""Block-cipher modes: CTR keystream and encrypt-then-MAC AEAD.
+
+The paper's implementation section specifies "AES in CTR mode with random IV"
+for the verification ciphertexts and packages "sent with the mode
+Encrypt-then-MAC" over the SSL channel.  :class:`EtMCipher` composes AES-CTR
+with HMAC-SHA256 in the standard EtM arrangement (separate encryption and MAC
+keys derived from one master key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES
+from repro.crypto.kdf import hkdf
+from repro.errors import IntegrityError, ParameterError
+from repro.utils.bits import xor_bytes
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["ctr_keystream", "ctr_xcrypt", "AeadCiphertext", "EtMCipher"]
+
+
+def ctr_keystream(cipher: AES, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes for a 16-byte initial counter."""
+    if len(nonce) != AES.BLOCK_SIZE:
+        raise ParameterError("CTR nonce must be a full 16-byte block")
+    counter = int.from_bytes(nonce, "big")
+    blocks = []
+    for i in range((length + 15) // 16):
+        block = ((counter + i) % (1 << 128)).to_bytes(16, "big")
+        blocks.append(cipher.encrypt_block(block))
+    return b"".join(blocks)[:length]
+
+
+def ctr_xcrypt(cipher: AES, nonce: bytes, data: bytes) -> bytes:
+    """CTR encryption == decryption: XOR with the keystream."""
+    return xor_bytes(data, ctr_keystream(cipher, nonce, len(data)))
+
+
+@dataclass(frozen=True)
+class AeadCiphertext:
+    """A sealed message: IV, ciphertext body, and MAC tag."""
+
+    iv: bytes
+    body: bytes
+    tag: bytes
+
+    def encode(self) -> bytes:
+        """Serialize to tagged, length-prefixed wire bytes."""
+        return self.iv + self.tag + self.body
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "AeadCiphertext":
+        """Parse iv || tag || body wire bytes."""
+        if len(raw) < 16 + 32:
+            raise ParameterError("AEAD ciphertext too short")
+        return cls(iv=raw[:16], tag=raw[16:48], body=raw[48:])
+
+    @property
+    def wire_size(self) -> int:
+        """Total sealed size in bytes (IV + tag + body)."""
+        return 16 + 32 + len(self.body)
+
+
+class EtMCipher:
+    """AES-CTR + HMAC-SHA256 in encrypt-then-MAC composition.
+
+    The master key is split into independent encryption and MAC keys with
+    HKDF; the MAC covers IV, associated data, and ciphertext body.
+    """
+
+    def __init__(self, master_key: bytes, key_size: int = 32) -> None:
+        if key_size not in (16, 24, 32):
+            raise ParameterError("key_size must be an AES key size")
+        enc_key = hkdf(master_key, info=b"etm-enc", length=key_size)
+        self._mac_key = hkdf(master_key, info=b"etm-mac", length=32)
+        self._aes = AES(enc_key)
+
+    def _tag(self, iv: bytes, aad: bytes, body: bytes) -> bytes:
+        mac = hmac.new(self._mac_key, digestmod=hashlib.sha256)
+        mac.update(len(aad).to_bytes(8, "big"))
+        mac.update(aad)
+        mac.update(iv)
+        mac.update(body)
+        return mac.digest()
+
+    def seal(
+        self,
+        plaintext: bytes,
+        aad: bytes = b"",
+        rng: SystemRandomSource | None = None,
+    ) -> AeadCiphertext:
+        """Encrypt and authenticate ``plaintext`` with a fresh random IV."""
+        rng = rng or SystemRandomSource()
+        iv = rng.randbytes(16)
+        body = ctr_xcrypt(self._aes, iv, plaintext)
+        return AeadCiphertext(iv=iv, body=body, tag=self._tag(iv, aad, body))
+
+    def open(self, ciphertext: AeadCiphertext, aad: bytes = b"") -> bytes:
+        """Verify the tag then decrypt; raises :class:`IntegrityError`."""
+        expected = self._tag(ciphertext.iv, aad, ciphertext.body)
+        if not hmac.compare_digest(expected, ciphertext.tag):
+            raise IntegrityError("MAC verification failed")
+        return ctr_xcrypt(self._aes, ciphertext.iv, ciphertext.body)

@@ -1,0 +1,106 @@
+"""Textbook RSA key generation and raw operations.
+
+RSA here is *only* the substrate of the RSA-OPRF protocol
+(:mod:`repro.crypto.oprf`), where blinding provides the semantic protection;
+no padding scheme is needed (and none is provided, to make the narrow purpose
+explicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CiphertextError, ParameterError
+from repro.ntheory.modular import modexp, modinv
+from repro.ntheory.primes import generate_prime
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["RSAPublicKey", "RSAKeyPair"]
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """An RSA public key ``(N, e)``."""
+
+    n: int
+    e: int
+
+    def __post_init__(self) -> None:
+        if self.n < 15 or self.n % 2 == 0:
+            raise ParameterError("invalid RSA modulus")
+        if self.e < 3 or self.e % 2 == 0:
+            raise ParameterError("invalid RSA public exponent")
+
+    def raw_encrypt(self, m: int) -> int:
+        """``m^e mod N`` — raw, unpadded."""
+        if not 0 <= m < self.n:
+            raise CiphertextError("plaintext out of range")
+        return modexp(m, self.e, self.n)
+
+    @property
+    def modulus_bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA key pair; carries CRT parameters for fast private ops."""
+
+    public: RSAPublicKey
+    d: int
+    p: int
+    q: int
+
+    @classmethod
+    def generate(
+        cls,
+        bits: int = 1024,
+        e: int = 65537,
+        rng: Optional[SystemRandomSource] = None,
+    ) -> "RSAKeyPair":
+        """Generate a ``bits``-bit modulus with public exponent ``e``."""
+        if bits < 64:
+            raise ParameterError(f"RSA modulus too small: {bits} bits")
+        rng = rng or SystemRandomSource()
+        while True:
+            p = generate_prime(bits // 2, rng)
+            q = generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            try:
+                d = modinv(e, phi)
+            except ParameterError:
+                continue  # e not coprime with phi; resample primes
+            n = p * q
+            if n.bit_length() != bits:
+                continue
+            return cls(public=RSAPublicKey(n=n, e=e), d=d, p=p, q=q)
+
+    @classmethod
+    def from_primes(
+        cls, p: int, q: int, e: int = 65537
+    ) -> "RSAKeyPair":
+        """Build a key pair from two known primes (fixture/bench support)."""
+        if p == q:
+            raise ParameterError("RSA primes must differ")
+        d = modinv(e, (p - 1) * (q - 1))
+        return cls(public=RSAPublicKey(n=p * q, e=e), d=d, p=p, q=q)
+
+    def raw_decrypt(self, c: int) -> int:
+        """``c^d mod N`` using the CRT speedup."""
+        if not 0 <= c < self.public.n:
+            raise CiphertextError("ciphertext out of range")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        mp = modexp(c % self.p, dp, self.p)
+        mq = modexp(c % self.q, dq, self.q)
+        qinv = modinv(self.q, self.p)
+        h = (mp - mq) * qinv % self.p
+        return mq + h * self.q
+
+    def sign_raw(self, m: int) -> int:
+        """Raw private-key operation (same as raw decryption)."""
+        return self.raw_decrypt(m)

@@ -1,0 +1,35 @@
+"""Dataset substrate: synthetic equivalents of the paper's three datasets.
+
+The paper evaluates on Infocom06 and Sigcomm09 (CRAWDAD conference traces)
+and a Weibo crawl — none redistributable here.  Per the substitution policy
+in DESIGN.md, :mod:`repro.datasets.synthetic` generates populations whose
+*published statistics* (Table II: node counts, attribute counts, per-dataset
+entropy AVG/MAX/MIN, landmark counts at tau = 0.6/0.8) are reproduced by
+construction, and whose cluster structure supports the fuzzy-key experiments.
+"""
+
+from repro.datasets.schema import AttributeDistSpec, DatasetSpec
+from repro.datasets.synthetic import (
+    INFOCOM06,
+    SIGCOMM09,
+    WEIBO,
+    ClusteredPopulation,
+    dataset_by_name,
+)
+from repro.datasets.analysis import DatasetProperties, analyze_spec, analyze_samples
+from repro.datasets.io import load_spec, save_spec
+
+__all__ = [
+    "load_spec",
+    "save_spec",
+    "AttributeDistSpec",
+    "DatasetSpec",
+    "INFOCOM06",
+    "SIGCOMM09",
+    "WEIBO",
+    "ClusteredPopulation",
+    "dataset_by_name",
+    "DatasetProperties",
+    "analyze_spec",
+    "analyze_samples",
+]

@@ -1,0 +1,103 @@
+"""Dataset-spec serialization (JSON).
+
+Lets users define their own dataset specs in files — e.g. to model a
+proprietary social graph's published statistics the way the built-in specs
+model Table II — and round-trip the built-ins for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.datasets.schema import AttributeDistSpec, DatasetSpec
+from repro.errors import DatasetError
+
+__all__ = ["spec_to_dict", "spec_from_dict", "save_spec", "load_spec"]
+
+_FORMAT = "smatch-dataset-spec"
+_VERSION = 1
+
+
+def spec_to_dict(spec: DatasetSpec) -> Dict[str, Any]:
+    """A JSON-serializable description of a dataset spec."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": spec.name,
+        "num_nodes": spec.num_nodes,
+        "attributes": [
+            {
+                "name": a.name,
+                "family": a.family,
+                "cardinality": a.cardinality,
+                "target_entropy": a.target_entropy,
+                "landmark_window": (
+                    list(a.landmark_window) if a.landmark_window else None
+                ),
+            }
+            for a in spec.attributes
+        ],
+        "paper": {
+            "entropy_avg": spec.paper_entropy_avg,
+            "entropy_max": spec.paper_entropy_max,
+            "entropy_min": spec.paper_entropy_min,
+            "landmarks_06": spec.paper_landmarks_06,
+            "landmarks_08": spec.paper_landmarks_08,
+        },
+    }
+
+
+def spec_from_dict(data: Dict[str, Any]) -> DatasetSpec:
+    """Rebuild a dataset spec; validates format/version and structure."""
+    try:
+        if data["format"] != _FORMAT:
+            raise DatasetError(f"not a dataset spec: {data.get('format')!r}")
+        if data["version"] != _VERSION:
+            raise DatasetError(f"unsupported version {data['version']}")
+        attributes = tuple(
+            AttributeDistSpec(
+                name=a["name"],
+                family=a["family"],
+                cardinality=a["cardinality"],
+                target_entropy=a["target_entropy"],
+                landmark_window=(
+                    tuple(a["landmark_window"])
+                    if a.get("landmark_window")
+                    else None
+                ),
+            )
+            for a in data["attributes"]
+        )
+        paper = data["paper"]
+        return DatasetSpec(
+            name=data["name"],
+            num_nodes=data["num_nodes"],
+            attributes=attributes,
+            paper_entropy_avg=paper["entropy_avg"],
+            paper_entropy_max=paper["entropy_max"],
+            paper_entropy_min=paper["entropy_min"],
+            paper_landmarks_06=paper["landmarks_06"],
+            paper_landmarks_08=paper["landmarks_08"],
+        )
+    except KeyError as exc:
+        raise DatasetError(f"dataset spec missing field {exc}") from exc
+    except TypeError as exc:
+        raise DatasetError(f"malformed dataset spec: {exc}") from exc
+
+
+def save_spec(spec: DatasetSpec, path: Union[str, pathlib.Path]) -> None:
+    """Write a dataset spec to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(spec_to_dict(spec), indent=2) + "\n"
+    )
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> DatasetSpec:
+    """Read a dataset spec from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"invalid JSON in {path}: {exc}") from exc
+    return spec_from_dict(data)

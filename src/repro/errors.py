@@ -1,0 +1,86 @@
+"""Exception hierarchy for the S-MATCH reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.  The hierarchy
+mirrors the subsystem layout: crypto primitives, coding theory, the core
+scheme, and the client/server protocol each have their own branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "CryptoError",
+    "KeyError_",
+    "CiphertextError",
+    "IntegrityError",
+    "DecodingError",
+    "UncorrectableError",
+    "SchemeError",
+    "VerificationError",
+    "MatchingError",
+    "ProtocolError",
+    "TransportError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A parameter is out of range or inconsistent with other parameters."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures inside cryptographic primitives."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed, has the wrong size, or fails validation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+class CiphertextError(CryptoError):
+    """A ciphertext is malformed or outside the expected range."""
+
+
+class IntegrityError(CryptoError):
+    """A MAC or authenticated-decryption check failed."""
+
+
+class DecodingError(ReproError):
+    """Base class for coding-theory failures."""
+
+
+class UncorrectableError(DecodingError):
+    """A received word contains more errors than the code can correct."""
+
+
+class SchemeError(ReproError):
+    """Base class for S-MATCH scheme-level failures."""
+
+
+class VerificationError(SchemeError):
+    """A profile-matching result failed the Vf verification protocol."""
+
+
+class MatchingError(SchemeError):
+    """The server could not produce a matching result (e.g. empty group)."""
+
+
+class ProtocolError(ReproError):
+    """A message violated the client/server wire protocol."""
+
+
+class TransportError(ProtocolError):
+    """The simulated transport failed to deliver a message."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or inconsistent with its declared schema."""

@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run(...) -> ExperimentResult`` and is consumed by the
+corresponding benchmark in ``benchmarks/`` (which also asserts the
+reproduction criteria) and by the examples.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    table1,
+    table2,
+    fig1,
+    fig4a,
+    fig4b,
+    fig4cde,
+    fig5abc,
+    fig5def,
+    costmodel,
+    ablations,
+    scaling,
+    testbed,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "table2",
+    "fig1",
+    "fig4a",
+    "fig4b",
+    "fig4cde",
+    "fig5abc",
+    "fig5def",
+    "costmodel",
+    "ablations",
+    "scaling",
+    "testbed",
+]

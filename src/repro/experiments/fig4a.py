@@ -1,0 +1,64 @@
+"""Figure 4(a): entropy of the three datasets after the entropy-increase and
+attribute-chaining steps, versus the perfect-entropy limit.
+
+For each plaintext size k, each dataset attribute's big-jump mapping has an
+exactly computable output entropy ``sum_j p_j log2(s_j / p_j)``; chaining in
+key-derived random order adds the positional uncertainty ``log2(d!) / d``
+per attribute (the adversary does not know which chain block carries which
+attribute).  Both quantities are analytic — at k = 2048 no finite sample
+could estimate a 2048-bit entropy empirically (the paper's plot is likewise
+a computed quantity).  The tests cross-check the analytic mapping entropy
+against empirical sampling at small k.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.entropy import AttributeMapping
+from repro.datasets import INFOCOM06, SIGCOMM09, WEIBO
+from repro.datasets.schema import DatasetSpec
+from repro.experiments.common import PLAINTEXT_SIZES, ExperimentResult
+
+__all__ = ["run", "chained_entropy_bits"]
+
+
+def chained_entropy_bits(spec: DatasetSpec, k: int) -> float:
+    """Mean per-attribute entropy after mapping + chaining for one dataset."""
+    mapped = [
+        AttributeMapping(probs, k).analytic_entropy_bits()
+        for probs in spec.distributions()
+    ]
+    d = len(mapped)
+    chain_bonus = math.lgamma(d + 1) / math.log(2) / d  # log2(d!)/d
+    return sum(mapped) / d + chain_bonus
+
+
+def run(sizes: Sequence[int] = PLAINTEXT_SIZES) -> ExperimentResult:
+    """Run the experiment and return its result table."""
+    result = ExperimentResult(
+        name="Fig. 4(a): entropy after entropy-increase + chaining",
+        columns=[
+            "plaintext size (bit)",
+            "Infocom06",
+            "Sigcomm09",
+            "Weibo",
+            "perfect entropy",
+        ],
+        notes=(
+            "Entropy in bits per attribute block; perfect entropy is the "
+            "uniform-distribution limit k."
+        ),
+    )
+    for k in sizes:
+        result.add_row(
+            **{
+                "plaintext size (bit)": k,
+                "Infocom06": chained_entropy_bits(INFOCOM06, k),
+                "Sigcomm09": chained_entropy_bits(SIGCOMM09, k),
+                "Weibo": chained_entropy_bits(WEIBO, k),
+                "perfect entropy": float(k),
+            }
+        )
+    return result

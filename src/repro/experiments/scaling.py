@@ -1,0 +1,69 @@
+"""Communication scaling: two-party matching vs server-mediated S-MATCH.
+
+The paper's Related Work motivates S-MATCH over ZLL13 with one sentence:
+"the scheme is designed in the two-party matching scenario, which
+introduce[s] large communication cost when extended to a profile matching
+scheme in large scale."  This experiment quantifies that claim: for one user
+who wants their matches within a community of N users,
+
+* **ZLL13** runs a pairwise session with each of the N-1 others — measured
+  wire bits grow linearly in N;
+* **S-MATCH** uploads once and queries once — wire bits are independent of
+  N (the server does the fan-out on ciphertexts).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.zll13 import run_pairwise
+from repro.datasets import INFOCOM06
+from repro.experiments.common import ExperimentResult, build_population, build_scheme
+from repro.experiments.fig5def import comm_costs_bits
+from repro.utils.rand import SystemRandomSource
+
+__all__ = ["run"]
+
+
+def run(
+    community_sizes: Sequence[int] = (5, 10, 20, 40),
+    plaintext_bits: int = 64,
+    theta: int = 8,
+    seed: int = 14,
+) -> ExperimentResult:
+    """Run the experiment and return its result table."""
+    result = ExperimentResult(
+        name="Scaling: one user's communication vs community size",
+        columns=[
+            "community size N",
+            "ZLL13 (bit)",
+            "S-MATCH PM+V (bit)",
+            "ratio",
+        ],
+        notes=(
+            "ZLL13 = measured pairwise sessions with all N-1 peers; "
+            "S-MATCH = one upload + one query/result exchange."
+        ),
+    )
+    rng = SystemRandomSource(seed=seed)
+    pop = build_population(INFOCOM06, theta=theta, seed=seed)
+    users = pop.generate(max(community_sizes))
+    smatch_bits = comm_costs_bits(
+        INFOCOM06, plaintext_bits, theta=theta, seed=seed
+    )["PM+V"]
+
+    for n in community_sizes:
+        me = users[0].profile.values
+        zll_bits = 0
+        for other in users[1:n]:
+            _, wire = run_pairwise(me, other.profile.values, rng=rng)
+            zll_bits += wire
+        result.add_row(
+            **{
+                "community size N": n,
+                "ZLL13 (bit)": zll_bits,
+                "S-MATCH PM+V (bit)": smatch_bits,
+                "ratio": zll_bits / smatch_bits,
+            }
+        )
+    return result

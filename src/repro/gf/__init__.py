@@ -1,0 +1,6 @@
+"""Galois field substrate: GF(2^m) arithmetic and polynomials over it."""
+
+from repro.gf.field import GF2m, GF1024
+from repro.gf.poly import Poly
+
+__all__ = ["GF2m", "GF1024", "Poly"]

@@ -1,0 +1,181 @@
+"""Polynomials over GF(2^m).
+
+Coefficients are stored lowest-degree first (``coeffs[i]`` is the coefficient
+of x^i), trailing zeros trimmed, with the zero polynomial represented by an
+empty coefficient list.  These are the workhorse of the Reed-Solomon encoder
+and the Berlekamp-Massey / Chien / Forney decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.gf.field import GF2m
+
+__all__ = ["Poly"]
+
+
+class Poly:
+    """An immutable polynomial over a given GF(2^m)."""
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: GF2m, coeffs: Iterable[int]) -> None:
+        self.field = field
+        trimmed: List[int] = list(coeffs)
+        for c in trimmed:
+            if not 0 <= c < field.size:
+                raise ParameterError(f"coefficient {c} not in GF(2^{field.m})")
+        while trimmed and trimmed[-1] == 0:
+            trimmed.pop()
+        self.coeffs = tuple(trimmed)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: GF2m) -> "Poly":
+        """The zero polynomial over the field."""
+        return cls(field, [])
+
+    @classmethod
+    def one(cls, field: GF2m) -> "Poly":
+        """The constant-one polynomial over the field."""
+        return cls(field, [1])
+
+    @classmethod
+    def monomial(cls, field: GF2m, degree: int, coeff: int = 1) -> "Poly":
+        """The monomial coeff * x^degree."""
+        if degree < 0:
+            raise ParameterError("degree must be non-negative")
+        return cls(field, [0] * degree + [coeff])
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree; the zero polynomial has degree -1 by convention."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self.coeffs
+
+    def coeff(self, i: int) -> int:
+        """Coefficient of x^i (zero beyond the stored degree)."""
+        if i < 0:
+            raise ParameterError("negative coefficient index")
+        return self.coeffs[i] if i < len(self.coeffs) else 0
+
+    def _require_same_field(self, other: "Poly") -> None:
+        if self.field != other.field:
+            raise ParameterError("polynomials over different fields")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Poly") -> "Poly":
+        self._require_same_field(other)
+        n = max(len(self.coeffs), len(other.coeffs))
+        return Poly(
+            self.field,
+            [self.coeff(i) ^ other.coeff(i) for i in range(n)],
+        )
+
+    __sub__ = __add__  # characteristic 2
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        self._require_same_field(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.field)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        mul = self.field.mul
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b:
+                    out[i + j] ^= mul(a, b)
+        return Poly(self.field, out)
+
+    def scale(self, k: int) -> "Poly":
+        """Multiply every coefficient by the scalar ``k``."""
+        mul = self.field.mul
+        return Poly(self.field, [mul(c, k) for c in self.coeffs])
+
+    def shift(self, n: int) -> "Poly":
+        """Multiply by x^n."""
+        if n < 0:
+            raise ParameterError("shift must be non-negative")
+        if self.is_zero():
+            return self
+        return Poly(self.field, (0,) * n + self.coeffs)
+
+    def divmod(self, divisor: "Poly") -> Tuple["Poly", "Poly"]:
+        """Polynomial division with remainder."""
+        self._require_same_field(divisor)
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        field = self.field
+        rem = list(self.coeffs)
+        dq = divisor.degree
+        lead_inv = field.inv(divisor.coeffs[-1])
+        quot = [0] * max(0, len(rem) - dq)
+        for i in range(len(rem) - 1, dq - 1, -1):
+            c = rem[i]
+            if c == 0:
+                continue
+            factor = field.mul(c, lead_inv)
+            quot[i - dq] = factor
+            for j, dcoef in enumerate(divisor.coeffs):
+                rem[i - dq + j] ^= field.mul(factor, dcoef)
+        return Poly(field, quot), Poly(field, rem[:dq])
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[1]
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[0]
+
+    # -- evaluation ---------------------------------------------------------
+
+    def eval(self, x: int) -> int:
+        """Evaluate at ``x`` by Horner's rule."""
+        field = self.field
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = field.mul(acc, x) ^ c
+        return acc
+
+    def eval_many(self, xs: Sequence[int]) -> List[int]:
+        """Evaluate at several points."""
+        return [self.eval(x) for x in xs]
+
+    def derivative(self) -> "Poly":
+        """Formal derivative; in characteristic 2, even-power terms vanish."""
+        out = [0] * max(0, len(self.coeffs) - 1)
+        for i in range(1, len(self.coeffs)):
+            if i % 2 == 1:  # i * c = c when i odd, 0 when i even (char 2)
+                out[i - 1] = self.coeffs[i]
+        return Poly(self.field, out)
+
+    # -- dunder housekeeping --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Poly)
+            and other.field == self.field
+            and other.coeffs == self.coeffs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coeffs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_zero():
+            return "Poly(0)"
+        terms = [
+            f"{c}*x^{i}" if i else str(c)
+            for i, c in enumerate(self.coeffs)
+            if c
+        ]
+        return "Poly(" + " + ".join(terms) + ")"

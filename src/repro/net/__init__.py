@@ -1,0 +1,26 @@
+"""Network substrate: wire messages, secure channel, transport, latency."""
+
+from repro.net.messages import (
+    Message,
+    QueryRequest,
+    QueryResult,
+    ResultEntry,
+    UploadMessage,
+    decode_message,
+)
+from repro.net.channel import SecureChannel
+from repro.net.transport import Endpoint, InMemoryNetwork
+from repro.net.latency import LatencyModel
+
+__all__ = [
+    "Message",
+    "QueryRequest",
+    "QueryResult",
+    "ResultEntry",
+    "UploadMessage",
+    "decode_message",
+    "SecureChannel",
+    "Endpoint",
+    "InMemoryNetwork",
+    "LatencyModel",
+]

@@ -1,0 +1,54 @@
+"""Link latency/bandwidth model.
+
+The paper's testbed link is "an 802.11n 53 Mbps WiFi connection".  The cost
+experiments report communication in *bits* (Fig. 5(d)-(f)); this model
+additionally converts bits to air time so the examples can report realistic
+end-to-end latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Fixed-RTT, fixed-bandwidth link model.
+
+    Attributes:
+        bandwidth_bps: link throughput in bits per second.
+        rtt_s: round-trip time in seconds.
+        per_message_overhead_bits: framing overhead added per datagram
+            (MAC/PHY headers).
+    """
+
+    bandwidth_bps: float = 53e6  # the paper's 802.11n link
+    rtt_s: float = 0.005
+    per_message_overhead_bits: int = 640  # ~80B of 802.11 + IP + TCP headers
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ParameterError("bandwidth must be positive")
+        if self.rtt_s < 0 or self.per_message_overhead_bits < 0:
+            raise ParameterError("latency parameters must be non-negative")
+
+    def transmission_time_s(self, payload_bits: int, messages: int = 1) -> float:
+        """Air time for ``payload_bits`` split over ``messages`` datagrams."""
+        if payload_bits < 0 or messages < 1:
+            raise ParameterError("invalid transmission request")
+        total_bits = payload_bits + messages * self.per_message_overhead_bits
+        return total_bits / self.bandwidth_bps
+
+    def round_trip_time_s(
+        self, request_bits: int, response_bits: int
+    ) -> float:
+        """One request/response exchange including propagation."""
+        return (
+            self.rtt_s
+            + self.transmission_time_s(request_bits)
+            + self.transmission_time_s(response_bits)
+        )

@@ -1,0 +1,76 @@
+"""In-memory transport: named endpoints exchanging datagrams.
+
+The paper's testbed connects an Android client to a PC server over WiFi +
+SSL sockets.  Our substitute is an in-process network with named endpoints
+and FIFO delivery, over which :class:`repro.net.channel.SecureChannel`
+provides the SSL-equivalent protection and
+:class:`repro.net.latency.LatencyModel` accounts for the air time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from repro.errors import TransportError
+
+__all__ = ["InMemoryNetwork", "Endpoint"]
+
+
+class InMemoryNetwork:
+    """A hub of named endpoints with per-destination FIFO queues."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[Tuple[str, bytes]]] = {}
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def endpoint(self, name: str) -> "Endpoint":
+        """Register a new named endpoint."""
+        if name in self._queues:
+            raise TransportError(f"endpoint {name!r} already exists")
+        self._queues[name] = deque()
+        return Endpoint(self, name)
+
+    def _send(self, source: str, dest: str, datagram: bytes) -> None:
+        queue = self._queues.get(dest)
+        if queue is None:
+            raise TransportError(f"no endpoint named {dest!r}")
+        self.bytes_sent += len(datagram)
+        self.messages_sent += 1
+        queue.append((source, datagram))
+
+    def _recv(self, name: str) -> Tuple[str, bytes]:
+        queue = self._queues.get(name)
+        if queue is None:
+            raise TransportError(f"no endpoint named {name!r}")
+        if not queue:
+            raise TransportError(f"no pending datagram for {name!r}")
+        return queue.popleft()
+
+    def pending(self, name: str) -> int:
+        """Number of undelivered datagrams waiting at this endpoint."""
+        queue = self._queues.get(name)
+        if queue is None:
+            raise TransportError(f"no endpoint named {name!r}")
+        return len(queue)
+
+
+class Endpoint:
+    """One party's attachment to the network."""
+
+    def __init__(self, network: InMemoryNetwork, name: str) -> None:
+        self._network = network
+        self.name = name
+
+    def send(self, dest: str, datagram: bytes) -> None:
+        """Queue a datagram for a destination endpoint."""
+        self._network._send(self.name, dest, datagram)
+
+    def recv(self) -> Tuple[str, bytes]:
+        """Pop the next (source, datagram) pair; raises when empty."""
+        return self._network._recv(self.name)
+
+    def pending(self) -> int:
+        """Number of undelivered datagrams waiting at this endpoint."""
+        return self._network.pending(self.name)

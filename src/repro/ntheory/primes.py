@@ -1,0 +1,122 @@
+"""Primality testing and prime generation.
+
+RSA (for the OPRF), Paillier (for the homoPM baseline), and the Schnorr group
+(for the verification protocol) all need primes of 512-3072 bits.  We use
+trial division by small primes followed by Miller-Rabin with enough rounds
+for a 2^-128 error bound, plus the deterministic witness set for 64-bit
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+    "next_prime",
+    "SMALL_PRIMES",
+]
+
+
+def _sieve(limit: int) -> list:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+SMALL_PRIMES = _sieve(2000)
+
+# Deterministic Miller-Rabin witnesses for n < 3,317,044,064,679,887,385,961,981
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3317044064679887385961981
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR round; returns True when ``a`` is consistent with ``n`` prime."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(
+    n: int, rounds: int = 64, rng: Optional[SystemRandomSource] = None
+) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (exact) for ``n`` below ~3.3e24 via the fixed witness set;
+    probabilistic with ``rounds`` random witnesses above that, giving an error
+    probability of at most ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses = [a for a in _DETERMINISTIC_WITNESSES if a < n]
+    else:
+        rng = rng or SystemRandomSource()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a, d, r) for a in witnesses)
+
+
+def generate_prime(
+    bits: int, rng: Optional[SystemRandomSource] = None
+) -> int:
+    """Generate a random prime with exactly ``bits`` bits (top bit set)."""
+    if bits < 3:
+        raise ParameterError(f"prime size too small: {bits} bits")
+    rng = rng or SystemRandomSource()
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # exact bit length, odd
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(
+    bits: int, rng: Optional[SystemRandomSource] = None
+) -> int:
+    """Generate a safe prime ``p = 2q + 1`` with ``p`` of ``bits`` bits.
+
+    The verification protocol works in the quadratic-residue subgroup of
+    ``Z_p^*`` for a safe prime ``p``, the "proper group" the paper's security
+    analysis mentions for the CDH assumption.
+    """
+    if bits < 4:
+        raise ParameterError(f"safe prime size too small: {bits} bits")
+    rng = rng or SystemRandomSource()
+    while True:
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime strictly greater than ``n``."""
+    candidate = max(2, n + 1)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate

@@ -1,0 +1,25 @@
+"""Profile-data acquisition: raw social data -> attribute values.
+
+Paper Section V-A names three sources of social attribute data: "user input
+in online social networks (e.g., birthday, gender), device capture using
+sensors (e.g., location), and data analysis based on the user behavior in
+online social networks (e.g., interests)" — the Weibo dataset defines the
+interest attribute as "the frequency of semantically related keywords".
+
+This package provides the corresponding encoders plus a builder that
+assembles a complete :class:`~repro.core.profile.Profile` from them.
+"""
+
+from repro.profiles.encoders import (
+    CategoricalEncoder,
+    KeywordInterestEncoder,
+    LocationGridEncoder,
+)
+from repro.profiles.builder import ProfileBuilder
+
+__all__ = [
+    "CategoricalEncoder",
+    "KeywordInterestEncoder",
+    "LocationGridEncoder",
+    "ProfileBuilder",
+]

@@ -1,0 +1,108 @@
+"""Assemble a Profile from heterogeneous data sources.
+
+A :class:`ProfileBuilder` declares the attribute layout once (building the
+matching :class:`~repro.core.profile.ProfileSchema`) and then turns each
+user's raw inputs — category labels, coordinates, post texts — into a
+:class:`~repro.core.profile.Profile` ready for `SMatch.enroll`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.profile import AttributeSpec, Profile, ProfileSchema
+from repro.errors import ParameterError
+from repro.profiles.encoders import (
+    CategoricalEncoder,
+    KeywordInterestEncoder,
+    LocationGridEncoder,
+)
+
+__all__ = ["ProfileBuilder"]
+
+
+class ProfileBuilder:
+    """Declarative profile assembly."""
+
+    def __init__(self) -> None:
+        self._specs: List[AttributeSpec] = []
+        self._encoders: List[Tuple[str, object]] = []
+        self._schema: Optional[ProfileSchema] = None
+
+    def _ensure_open(self) -> None:
+        if self._schema is not None:
+            raise ParameterError("builder already finalized")
+
+    def add_categorical(
+        self, name: str, encoder: CategoricalEncoder
+    ) -> "ProfileBuilder":
+        """Declare a categorical (user-input) attribute."""
+        self._ensure_open()
+        self._specs.append(AttributeSpec(name, encoder.value_range))
+        self._encoders.append(("categorical", encoder))
+        return self
+
+    def add_location(
+        self, name: str, encoder: LocationGridEncoder
+    ) -> "ProfileBuilder":
+        """Adds two attributes: ``<name>_lat`` and ``<name>_lon``."""
+        self._ensure_open()
+        self._specs.append(AttributeSpec(f"{name}_lat", encoder.value_range))
+        self._specs.append(AttributeSpec(f"{name}_lon", encoder.value_range))
+        self._encoders.append(("location", encoder))
+        return self
+
+    def add_interest(
+        self, name: str, encoder: KeywordInterestEncoder
+    ) -> "ProfileBuilder":
+        """Declare a keyword-frequency interest attribute."""
+        self._ensure_open()
+        self._specs.append(AttributeSpec(name, encoder.value_range))
+        self._encoders.append(("interest", encoder))
+        return self
+
+    @property
+    def schema(self) -> ProfileSchema:
+        """The assembled profile schema."""
+        if self._schema is None:
+            if not self._specs:
+                raise ParameterError("builder has no attributes")
+            self._schema = ProfileSchema(attributes=tuple(self._specs))
+        return self._schema
+
+    def build(self, user_id: int, *inputs: object) -> Profile:
+        """Build a profile from one raw input per declared source.
+
+        Input types by source kind: a category label (str) for
+        ``categorical``, a ``(lat, lon)`` tuple for ``location``, and an
+        iterable of texts for ``interest``.
+        """
+        if len(inputs) != len(self._encoders):
+            raise ParameterError(
+                f"expected {len(self._encoders)} inputs, got {len(inputs)}"
+            )
+        values: List[int] = []
+        for (kind, encoder), raw in zip(self._encoders, inputs):
+            if kind == "categorical":
+                if not isinstance(raw, str):
+                    raise ParameterError(
+                        f"categorical source needs a label, got {type(raw)}"
+                    )
+                values.append(encoder.encode(raw))
+            elif kind == "location":
+                try:
+                    lat, lon = raw  # type: ignore[misc]
+                except (TypeError, ValueError) as exc:
+                    raise ParameterError(
+                        "location source needs a (lat, lon) pair"
+                    ) from exc
+                cell_lat, cell_lon = encoder.encode(float(lat), float(lon))
+                values.extend((cell_lat, cell_lon))
+            else:  # interest
+                if isinstance(raw, str):
+                    raise ParameterError(
+                        "interest source needs an iterable of texts, "
+                        "not a single string"
+                    )
+                values.append(encoder.encode(raw))  # type: ignore[arg-type]
+        return Profile(user_id, self.schema, tuple(values))

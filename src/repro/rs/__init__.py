@@ -1,0 +1,7 @@
+"""Reed-Solomon substrate: encoder, bounded-distance decoder, fuzzy vectors."""
+
+from repro.rs.code import RSCode
+from repro.rs.decoder import decode
+from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
+
+__all__ = ["RSCode", "decode", "FuzzyExtractor", "FuzzyParams"]

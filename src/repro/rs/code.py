@@ -1,0 +1,126 @@
+"""Reed-Solomon code definition and systematic encoder.
+
+An ``(n, k)`` RS code over GF(2^m) with ``n <= 2^m - 1`` corrects up to
+``t = (n - k) // 2`` symbol errors.  The paper uses "(n, d)-codes, where d is
+the number of attribute values as the source symbols, and n = 2^10" — i.e.
+codes over GF(2^10) whose message length equals the profile's attribute count.
+
+Encoding is systematic: the codeword is ``message || parity`` where parity is
+the remainder of ``message(x) * x^(n-k)`` modulo the generator polynomial
+``g(x) = (x - alpha^fcr)(x - alpha^(fcr+1)) ... (x - alpha^(fcr+n-k-1))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.gf.field import GF2m
+from repro.gf.poly import Poly
+
+__all__ = ["RSCode"]
+
+
+@dataclass(frozen=True)
+class RSCode:
+    """An (n, k) Reed-Solomon code over GF(2^m).
+
+    Attributes:
+        n: codeword length in symbols, at most ``2^m - 1``.
+        k: message length in symbols, ``1 <= k < n``.
+        m: symbol size in bits (field GF(2^m)).
+        fcr: first consecutive root exponent (conventionally 1).
+    """
+
+    n: int
+    k: int
+    m: int = 10
+    fcr: int = 1
+    _generator: Poly = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        gf = GF2m.get(self.m)
+        if not 1 <= self.k < self.n:
+            raise ParameterError(f"need 1 <= k < n, got k={self.k}, n={self.n}")
+        if self.n > gf.order:
+            raise ParameterError(
+                f"n={self.n} exceeds field order {gf.order} for GF(2^{self.m})"
+            )
+        gen = Poly.one(gf)
+        for i in range(self.n - self.k):
+            root = gf.alpha_pow(self.fcr + i)
+            gen = gen * Poly(gf, [root, 1])  # (x - alpha^(fcr+i)); char 2
+        object.__setattr__(self, "_generator", gen)
+
+    @property
+    def field_(self) -> GF2m:
+        """The underlying Galois field."""
+        return GF2m.get(self.m)
+
+    @property
+    def t(self) -> int:
+        """Error-correction capability in symbols."""
+        return (self.n - self.k) // 2
+
+    @property
+    def n_parity(self) -> int:
+        """Number of parity symbols (n - k)."""
+        return self.n - self.k
+
+    @property
+    def generator(self) -> Poly:
+        """The generator polynomial g(x)."""
+        return self._generator
+
+    def _check_symbols(self, symbols: Sequence[int], length: int, what: str) -> None:
+        if len(symbols) != length:
+            raise ParameterError(
+                f"{what} must have {length} symbols, got {len(symbols)}"
+            )
+        size = self.field_.size
+        for s in symbols:
+            if not 0 <= s < size:
+                raise ParameterError(
+                    f"{what} symbol {s} not in GF(2^{self.m})"
+                )
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Systematically encode ``k`` message symbols into a codeword.
+
+        The returned codeword lists the message symbols first (positions
+        ``0..k-1``) followed by ``n - k`` parity symbols.
+        """
+        self._check_symbols(message, self.k, "message")
+        gf = self.field_
+        # message(x) * x^(n-k) mod g(x) gives the parity polynomial
+        shifted = Poly(gf, list(reversed(message))).shift(self.n_parity)
+        parity_poly = shifted % self._generator
+        parity = [parity_poly.coeff(i) for i in range(self.n_parity)]
+        # codeword poly = shifted + parity; we store highest-order (message)
+        # symbols first to keep the systematic layout intuitive.
+        return list(message) + list(reversed(parity))
+
+    def codeword_poly(self, codeword: Sequence[int]) -> Poly:
+        """View a codeword (message-first layout) as a polynomial.
+
+        Position ``i`` of the codeword corresponds to the coefficient of
+        ``x^(n-1-i)``.
+        """
+        self._check_symbols(codeword, self.n, "codeword")
+        return Poly(self.field_, list(reversed(codeword)))
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        """True when ``word`` has all-zero syndromes."""
+        self._check_symbols(word, self.n, "word")
+        gf = self.field_
+        poly = self.codeword_poly(word)
+        return all(
+            poly.eval(gf.alpha_pow(self.fcr + i)) == 0
+            for i in range(self.n_parity)
+        )
+
+    def message_of(self, codeword: Sequence[int]) -> List[int]:
+        """Extract the message symbols from a systematic codeword."""
+        self._check_symbols(codeword, self.n, "codeword")
+        return list(codeword[: self.k])

@@ -1,0 +1,184 @@
+"""Bounded-distance Reed-Solomon decoding.
+
+The classical pipeline the paper cites ([32] Berlekamp, [33] Massey):
+
+1. syndrome computation,
+2. Berlekamp-Massey to find the error-locator polynomial (extended with
+   erasure initialization when erasure positions are known),
+3. Chien search for the error positions,
+4. Forney's formula for the error magnitudes.
+
+Erasure support doubles the correctable budget for known-bad positions
+(``2 * errors + erasures <= n - k``), which is the mechanism behind the
+Guruswami-Sudan-inspired TPR improvement the paper suggests (we expose it as
+the ``erasures`` argument and ablate it in the benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError, UncorrectableError
+from repro.gf.poly import Poly
+from repro.rs.code import RSCode
+
+__all__ = ["decode", "syndromes"]
+
+
+def syndromes(code: RSCode, word: Sequence[int]) -> List[int]:
+    """Evaluate the received word at the code's roots."""
+    gf = code.field_
+    poly = code.codeword_poly(word)
+    return [
+        poly.eval(gf.alpha_pow(code.fcr + i)) for i in range(code.n_parity)
+    ]
+
+
+def _erasure_locator(code: RSCode, positions: Sequence[int]) -> Poly:
+    """Product of ``(1 - x * alpha^j)`` over erased coefficient powers j."""
+    gf = code.field_
+    loc = Poly.one(gf)
+    for pos in positions:
+        # codeword position i corresponds to coefficient of x^(n-1-i)
+        power = code.n - 1 - pos
+        loc = loc * Poly(gf, [1, gf.alpha_pow(power)])
+    return loc
+
+
+def _berlekamp_massey(
+    code: RSCode, synd: Sequence[int], erasure_loc: Poly, n_erasures: int
+) -> Poly:
+    """Berlekamp-Massey with erasure initialization (Massey's formulation).
+
+    Returns the combined error-and-erasure locator polynomial.  The state is
+    the textbook (C, B, L, m, b) tuple; both C and B start at the erasure
+    locator and the length register L starts at the erasure count, so the
+    remaining ``n_parity - n_erasures`` syndromes are spent on errors.
+    """
+    gf = code.field_
+    c_poly = erasure_loc  # current locator estimate
+    b_poly = erasure_loc  # last locator before a length change
+    length = n_erasures
+    shift = 1
+    b_disc = 1  # discrepancy at the last length change
+    for n in range(n_erasures, code.n_parity):
+        delta = synd[n]
+        for j in range(1, min(length, n) + 1):
+            delta ^= gf.mul(c_poly.coeff(j), synd[n - j])
+        if delta == 0:
+            shift += 1
+            continue
+        correction = b_poly.shift(shift).scale(gf.div(delta, b_disc))
+        if 2 * (length - n_erasures) <= n - n_erasures:
+            previous = c_poly
+            c_poly = c_poly + correction
+            length = n + 1 - length + n_erasures
+            b_poly = previous
+            b_disc = delta
+            shift = 1
+        else:
+            c_poly = c_poly + correction
+            shift += 1
+    return c_poly
+
+
+def _chien_search(code: RSCode, locator: Poly) -> List[int]:
+    """Find codeword positions whose locator root indicates an error."""
+    gf = code.field_
+    positions = []
+    for power in range(code.n):
+        # root alpha^-power <=> error at coefficient x^power
+        x = gf.alpha_pow(gf.order - power if power else 0)
+        if locator.eval(x) == 0:
+            positions.append(code.n - 1 - power)
+    return positions
+
+
+def _forney(
+    code: RSCode, synd: Sequence[int], locator: Poly, positions: Sequence[int]
+) -> List[int]:
+    """Error magnitudes at the located positions via Forney's formula."""
+    gf = code.field_
+    synd_poly = Poly(gf, list(synd))
+    omega = (synd_poly * locator) % Poly.monomial(gf, code.n_parity)
+    deriv = locator.derivative()
+    magnitudes = []
+    for pos in positions:
+        power = code.n - 1 - pos
+        x_inv = gf.alpha_pow((gf.order - power) % gf.order)
+        denom = deriv.eval(x_inv)
+        if denom == 0:
+            raise UncorrectableError("Forney denominator vanished")
+        num = omega.eval(x_inv)
+        # fcr-dependent correction factor: X_j^(1-fcr)
+        x_j = gf.alpha_pow(power)
+        factor = gf.pow(x_j, 1 - code.fcr)
+        magnitudes.append(gf.mul(factor, gf.div(num, denom)))
+    return magnitudes
+
+
+def decode(
+    code: RSCode,
+    received: Sequence[int],
+    erasures: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Decode a received word to the nearest codeword.
+
+    Args:
+        code: the RS code.
+        received: ``n`` symbols, possibly corrupted.
+        erasures: optional positions known to be unreliable.
+
+    Returns:
+        The corrected codeword (message-first systematic layout).
+
+    Raises:
+        UncorrectableError: when the error weight exceeds the code's
+            bounded-distance capability, or the corrected word fails the
+            syndrome re-check.
+    """
+    erasures = list(erasures or [])
+    if len(set(erasures)) != len(erasures):
+        raise ParameterError("duplicate erasure positions")
+    for pos in erasures:
+        if not 0 <= pos < code.n:
+            raise ParameterError(f"erasure position {pos} out of range")
+    if len(erasures) > code.n_parity:
+        raise UncorrectableError(
+            f"{len(erasures)} erasures exceed parity budget {code.n_parity}"
+        )
+
+    word = list(received)
+    code._check_symbols(word, code.n, "received word")
+    # Zero out erased symbols so their "error" magnitude is well defined.
+    for pos in erasures:
+        word[pos] = 0
+
+    synd = syndromes(code, word)
+    if not any(synd) and not erasures:
+        return word
+
+    erasure_loc = _erasure_locator(code, erasures)
+    locator = _berlekamp_massey(code, synd, erasure_loc, len(erasures))
+
+    n_errors = locator.degree - len(erasures)
+    if n_errors < 0 or 2 * n_errors + len(erasures) > code.n_parity:
+        raise UncorrectableError(
+            f"locator degree {locator.degree} exceeds correction capability"
+        )
+
+    positions = _chien_search(code, locator)
+    if len(positions) != locator.degree:
+        raise UncorrectableError(
+            "Chien search found fewer roots than the locator degree; "
+            "the word is uncorrectable"
+        )
+
+    magnitudes = _forney(code, synd, locator, positions)
+    corrected = list(word)
+    for pos, mag in zip(positions, magnitudes):
+        corrected[pos] ^= mag
+
+    if not code.is_codeword(corrected):
+        raise UncorrectableError("syndrome re-check failed after correction")
+    return corrected

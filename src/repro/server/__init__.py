@@ -1,0 +1,14 @@
+"""The untrusted server: storage, matching engine, query service, adversaries."""
+
+from repro.server.storage import ProfileStore
+from repro.server.matcher import ServerMatcher
+from repro.server.service import SMatchServer
+from repro.server.adversary import MaliciousBehavior, MaliciousServer
+
+__all__ = [
+    "ProfileStore",
+    "ServerMatcher",
+    "SMatchServer",
+    "MaliciousBehavior",
+    "MaliciousServer",
+]

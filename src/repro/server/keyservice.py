@@ -1,0 +1,105 @@
+"""The networked OPRF key-generation service.
+
+The "random number generator" of the paper's Section III, deployed as its
+own party (distinct from the matching server — if the matching server held
+the OPRF key it could brute-force candidate profiles into key indexes and
+defeat the fuzzy keygen's offline-attack protection).
+
+Beyond raw evaluation the service enforces the defence that makes the OPRF
+meaningful in practice: **per-client rate limiting**.  An online adversary
+must query the service once per candidate profile guess; capping the query
+rate caps the brute-force throughput, turning the information-theoretic
+"offline attack blocked" claim into an operational bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.oprf import RsaOprfServer
+from repro.errors import ProtocolError
+from repro.net.messages import Message
+from repro.net.oprf_messages import (
+    OprfKeyInfo,
+    OprfKeyInfoRequest,
+    OprfRequest,
+    OprfResponse,
+)
+
+__all__ = ["KeyGenService", "RateLimitExceeded"]
+
+
+class RateLimitExceeded(ProtocolError):
+    """A client exceeded its OPRF evaluation budget for the window."""
+
+
+@dataclass
+class _ClientBudget:
+    window_start: int
+    used: int
+
+
+class KeyGenService:
+    """Serves blinded OPRF evaluations with per-client rate limiting."""
+
+    def __init__(
+        self,
+        oprf_server: Optional[RsaOprfServer] = None,
+        max_requests_per_window: int = 30,
+        window_seconds: int = 3600,
+    ) -> None:
+        self.oprf = oprf_server or RsaOprfServer()
+        if max_requests_per_window < 1:
+            raise ProtocolError("rate limit must allow at least one request")
+        if window_seconds < 1:
+            raise ProtocolError("rate window must be positive")
+        self.max_requests = max_requests_per_window
+        self.window_seconds = window_seconds
+        self._budgets: Dict[str, _ClientBudget] = {}
+        self.evaluations_served = 0
+        self.rejections = 0
+
+    # -- rate limiting ------------------------------------------------------------
+
+    def _check_budget(self, client: str, now: int) -> None:
+        budget = self._budgets.get(client)
+        if budget is None or now - budget.window_start >= self.window_seconds:
+            self._budgets[client] = _ClientBudget(window_start=now, used=0)
+            budget = self._budgets[client]
+        if budget.used >= self.max_requests:
+            self.rejections += 1
+            raise RateLimitExceeded(
+                f"client {client!r} exceeded {self.max_requests} OPRF "
+                f"evaluations per {self.window_seconds}s window"
+            )
+        budget.used += 1
+
+    def remaining_budget(self, client: str, now: int = 0) -> int:
+        """Evaluations left in the client's current window."""
+        budget = self._budgets.get(client)
+        if budget is None or now - budget.window_start >= self.window_seconds:
+            return self.max_requests
+        return max(0, self.max_requests - budget.used)
+
+    # -- protocol -----------------------------------------------------------------
+
+    def handle_message(
+        self, client: str, message: Message, now: int = 0
+    ) -> Message:
+        """Dispatch one key-service message from ``client`` at time ``now``."""
+        if isinstance(message, OprfKeyInfoRequest):
+            pk = self.oprf.public_key
+            return OprfKeyInfo(
+                request_id=message.request_id, modulus=pk.n, exponent=pk.e
+            )
+        if isinstance(message, OprfRequest):
+            self._check_budget(client, now)
+            evaluated = self.oprf.evaluate_blinded(message.blinded)
+            self.evaluations_served += 1
+            return OprfResponse(
+                request_id=message.request_id, evaluated=evaluated
+            )
+        raise ProtocolError(
+            f"key service cannot handle {type(message).__name__}"
+        )

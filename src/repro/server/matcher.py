@@ -1,0 +1,115 @@
+"""The server-side matching engine (paper Algorithm Match).
+
+``Match(v, C)``:
+
+1. ``C' <- EXTRA(h(K_vp), C)`` — extract the querier's key group,
+2. ``C' <- SORT(C')`` — order the group by the Definition-4 score,
+3. ``pos <- FIND(v, C')`` — locate the querier,
+4. return the ``k`` neighbours around ``pos``.
+
+The engine caches the sorted order per group generation so repeated queries
+pay O(log |V|) search instead of O(|V| log |V|) sort — the cost split the
+paper's Section VII-C quotes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.matching import score_table
+from repro.core.scheme import EncryptedProfile
+from repro.errors import MatchingError, ParameterError
+from repro.server.storage import ProfileStore
+from repro.utils.instrument import count_op
+
+__all__ = ["ServerMatcher"]
+
+
+class ServerMatcher:
+    """kNN / MAX-distance matching over a :class:`ProfileStore`."""
+
+    def __init__(self, store: ProfileStore, order_method: str = "rank") -> None:
+        if order_method not in ("rank", "value"):
+            raise ParameterError("order_method must be 'rank' or 'value'")
+        self._store = store
+        self._order_method = order_method
+        # group index -> (membership snapshot, sorted [(score, uid)])
+        self._sorted_cache: Dict[bytes, Tuple[frozenset, List[Tuple[int, int]]]] = {}
+
+    def _sorted_group(
+        self, key_index: bytes, group: Dict[int, EncryptedProfile]
+    ) -> List[Tuple[int, int]]:
+        membership = frozenset(group)
+        cached = self._sorted_cache.get(key_index)
+        if cached is not None and cached[0] == membership:
+            return cached[1]
+        chains = {uid: ep.chain for uid, ep in group.items()}
+        scores = score_table(chains, self._order_method)
+        count_op("server_sort")
+        ordered = sorted((score, uid) for uid, score in scores.items())
+        self._sorted_cache[key_index] = (membership, ordered)
+        return ordered
+
+    def match(self, query_user: int, k: int) -> List[int]:
+        """The k nearest users to ``query_user`` within their key group.
+
+        Implements the paper's position-window selection: after sorting,
+        take the ``k`` entries closest to the querier's position (breaking
+        the window asymmetry toward smaller score distance).
+        """
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        if not self._store.contains(query_user):
+            raise MatchingError(f"unknown user {query_user}")
+        payload = self._store.get(query_user)
+        group = self._store.group_by_index(payload.key_index)
+        ordered = self._sorted_group(payload.key_index, group)
+        count_op("server_search")
+        # FIND(v, C'): binary search to the querier's position.
+        keys = [score for score, _ in ordered]
+        my_score = next(s for s, uid in ordered if uid == query_user)
+        pos = bisect_left(keys, my_score)
+        while ordered[pos][1] != query_user:
+            pos += 1
+        # Expand a window of k neighbours around pos by score distance.
+        left, right = pos - 1, pos + 1
+        chosen: List[int] = []
+        while len(chosen) < k and (left >= 0 or right < len(ordered)):
+            left_dist = (
+                abs(ordered[left][0] - my_score) if left >= 0 else None
+            )
+            right_dist = (
+                abs(ordered[right][0] - my_score)
+                if right < len(ordered)
+                else None
+            )
+            take_left = right_dist is None or (
+                left_dist is not None and left_dist <= right_dist
+            )
+            if take_left:
+                chosen.append(ordered[left][1])
+                left -= 1
+            else:
+                chosen.append(ordered[right][1])
+                right += 1
+        return chosen
+
+    def match_within(self, query_user: int, max_distance: int) -> List[int]:
+        """MAX-distance matching: all group members within a score radius."""
+        if max_distance < 0:
+            raise ParameterError("max_distance must be >= 0")
+        payload = self._store.get(query_user)
+        group = self._store.group_by_index(payload.key_index)
+        ordered = self._sorted_group(payload.key_index, group)
+        my_score = next(s for s, uid in ordered if uid == query_user)
+        count_op("server_search")
+        return [
+            uid
+            for score, uid in ordered
+            if uid != query_user and abs(score - my_score) <= max_distance
+        ]
+
+    def invalidate(self) -> None:
+        """Drop cached orders (tests use this to exercise the cold path)."""
+        self._sorted_cache.clear()

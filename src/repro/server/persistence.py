@@ -1,0 +1,80 @@
+"""Persistence for the server's encrypted-profile store.
+
+The untrusted server holds only ciphertext material (key indexes, OPE
+chains, sealed authenticators), so its state can be written to disk as-is —
+a restart must not force the whole user community to re-enroll.  The format
+is a versioned, length-prefixed binary file reusing the wire codec, with an
+integrity digest so corrupted state fails loudly instead of serving wrong
+matches.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+from repro.crypto.kdf import sha256
+from repro.errors import ProtocolError
+from repro.net.messages import UploadMessage, decode_message
+from repro.server.storage import ProfileStore
+from repro.utils.serial import FieldReader, FieldWriter
+
+__all__ = ["save_store", "load_store"]
+
+_MAGIC = b"SMATCH-STORE"
+_VERSION = 1
+
+
+def dump_store_bytes(store: ProfileStore) -> bytes:
+    """Serialize a store to bytes (digest-protected)."""
+    body = FieldWriter()
+    profiles = store.all_profiles()
+    body.write_int(len(profiles))
+    for uid in sorted(profiles):
+        body.write_bytes(UploadMessage(payload=profiles[uid]).encode())
+    payload = body.getvalue()
+
+    out = FieldWriter()
+    out.write_bytes(_MAGIC)
+    out.write_int(_VERSION)
+    out.write_bytes(sha256(b"store-digest", payload))
+    out.write_bytes(payload)
+    return out.getvalue()
+
+
+def load_store_bytes(raw: bytes) -> ProfileStore:
+    """Deserialize a store, validating magic, version, and digest."""
+    reader = FieldReader(raw)
+    if reader.read_bytes() != _MAGIC:
+        raise ProtocolError("not an S-MATCH store file")
+    version = reader.read_int()
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported store version {version}")
+    digest = reader.read_bytes()
+    payload = reader.read_bytes()
+    reader.expect_end()
+    if sha256(b"store-digest", payload) != digest:
+        raise ProtocolError("store digest mismatch: file corrupted")
+
+    body = FieldReader(payload)
+    count = body.read_int()
+    store = ProfileStore()
+    for _ in range(count):
+        message = decode_message(body.read_bytes())
+        if not isinstance(message, UploadMessage):
+            raise ProtocolError("store contains a non-upload record")
+        store.put(message.payload)
+    body.expect_end()
+    return store
+
+
+def save_store(store: ProfileStore, path: Union[str, pathlib.Path]) -> int:
+    """Write a store to ``path``; returns bytes written."""
+    data = dump_store_bytes(store)
+    pathlib.Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_store(path: Union[str, pathlib.Path]) -> ProfileStore:
+    """Read a store from ``path``."""
+    return load_store_bytes(pathlib.Path(path).read_bytes())

@@ -1,0 +1,83 @@
+"""The untrusted server's request handler.
+
+Glues storage + matcher to the wire protocol: consumes
+:class:`~repro.net.messages.UploadMessage` and
+:class:`~repro.net.messages.QueryRequest`, produces
+:class:`~repro.net.messages.QueryResult` carrying each matched user's ID and
+authentication information (which is all the querier needs to run Vf).
+
+The honest server implemented here follows the protocol exactly; the
+malicious variants live in :mod:`repro.server.adversary`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import MatchingError, ProtocolError
+from repro.net.messages import (
+    Message,
+    QueryRequest,
+    QueryResult,
+    ResultEntry,
+    UploadMessage,
+)
+from repro.server.matcher import ServerMatcher
+from repro.server.storage import ProfileStore
+
+__all__ = ["SMatchServer"]
+
+
+class SMatchServer:
+    """An honest-but-curious S-MATCH server."""
+
+    def __init__(self, query_k: int = 5, order_method: str = "rank") -> None:
+        self.store = ProfileStore()
+        self.matcher = ServerMatcher(self.store, order_method=order_method)
+        self.query_k = query_k
+        self.queries_served = 0
+        self.uploads_accepted = 0
+
+    # -- protocol handlers ----------------------------------------------------
+
+    def handle_upload(self, message: UploadMessage) -> None:
+        """Store an uploaded encrypted profile."""
+        self.store.put(message.payload)
+        self.uploads_accepted += 1
+
+    def handle_query(self, request: QueryRequest) -> QueryResult:
+        """Run Match and assemble the result message."""
+        matches = self._match_ids(request)
+        entries = tuple(
+            ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
+            for uid in matches
+        )
+        self.queries_served += 1
+        return QueryResult(
+            query_id=request.query_id,
+            timestamp=request.timestamp,
+            entries=entries,
+        )
+
+    def handle_message(self, message: Message) -> Optional[Message]:
+        """Dispatch any protocol message; returns the response if any."""
+        if isinstance(message, UploadMessage):
+            self.handle_upload(message)
+            return None
+        if isinstance(message, QueryRequest):
+            return self.handle_query(message)
+        raise ProtocolError(
+            f"server cannot handle {type(message).__name__}"
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _match_ids(self, request: QueryRequest) -> List[int]:
+        try:
+            if request.max_distance is not None:
+                return self.matcher.match_within(
+                    request.user_id, request.max_distance
+                )
+            return self.matcher.match(request.user_id, self.query_k)
+        except MatchingError:
+            return []  # unknown user or singleton group: empty result

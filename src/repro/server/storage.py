@@ -1,0 +1,99 @@
+"""Encrypted-profile storage, indexed by the hashed profile key.
+
+The server "first filters the stored encrypted profiles based on h(K_up)"
+(paper, Profile Matching step): profiles live in groups keyed by the
+32-byte key index, and a side table maps user IDs to their current group so
+queries — which carry only ``ID_v`` — can locate the right group.
+
+Re-uploads replace the user's previous record (users "update [their]
+encrypted social profile on the untrusted server periodically"), including
+moving them between groups when their profile drifted to a different fuzzy
+key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.scheme import EncryptedProfile
+from repro.errors import MatchingError, ParameterError
+
+__all__ = ["ProfileStore"]
+
+
+class ProfileStore:
+    """Grouped storage of encrypted profiles."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[bytes, Dict[int, EncryptedProfile]] = {}
+        self._user_group: Dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._user_group)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct key groups."""
+        return len(self._groups)
+
+    def put(self, payload: EncryptedProfile) -> None:
+        """Insert or replace a user's encrypted profile."""
+        uid = payload.user_id
+        previous = self._user_group.get(uid)
+        if previous is not None and previous != payload.key_index:
+            old_group = self._groups[previous]
+            del old_group[uid]
+            if not old_group:
+                del self._groups[previous]
+        self._groups.setdefault(payload.key_index, {})[uid] = payload
+        self._user_group[uid] = payload.key_index
+
+    def get(self, user_id: int) -> EncryptedProfile:
+        """Fetch a stored record; raises when absent."""
+        index = self._user_group.get(user_id)
+        if index is None:
+            raise MatchingError(f"unknown user {user_id}")
+        return self._groups[index][user_id]
+
+    def remove(self, user_id: int) -> None:
+        """Delete a user's record; raises when absent."""
+        index = self._user_group.pop(user_id, None)
+        if index is None:
+            raise MatchingError(f"unknown user {user_id}")
+        group = self._groups[index]
+        del group[user_id]
+        if not group:
+            del self._groups[index]
+
+    def group_of(self, user_id: int) -> Dict[int, EncryptedProfile]:
+        """The key group containing a user (the h(K_up) filter step)."""
+        index = self._user_group.get(user_id)
+        if index is None:
+            raise MatchingError(f"unknown user {user_id}")
+        return dict(self._groups[index])
+
+    def group_by_index(self, key_index: bytes) -> Dict[int, EncryptedProfile]:
+        """The group stored under a key index (possibly empty)."""
+        if len(key_index) != 32:
+            raise ParameterError("key index must be 32 bytes")
+        return dict(self._groups.get(key_index, {}))
+
+    def groups(self) -> Iterator[Tuple[bytes, Dict[int, EncryptedProfile]]]:
+        """Iterate (key index, group contents) pairs."""
+        for index, group in self._groups.items():
+            yield index, dict(group)
+
+    def group_sizes(self) -> List[int]:
+        """Sizes of all key groups (the m of the PR-KK bound m/N)."""
+        return sorted((len(g) for g in self._groups.values()), reverse=True)
+
+    def all_profiles(self) -> Dict[int, EncryptedProfile]:
+        """Every stored record keyed by user id."""
+        return {
+            uid: self._groups[idx][uid]
+            for uid, idx in self._user_group.items()
+        }
+
+    def contains(self, user_id: int) -> bool:
+        """True when the user has a stored record."""
+        return user_id in self._user_group

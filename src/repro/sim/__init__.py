@@ -1,0 +1,14 @@
+"""Time-stepped mobile-social-service simulation.
+
+The paper's system model has users "update [their] encrypted social profile
+on the untrusted server periodically" while querying at other times.  This
+package simulates that lifecycle: profiles drift (interests shift, locations
+move), devices re-enroll on their upload period, queries interleave, and the
+simulation records how the fuzzy key groups evolve — the operational
+questions (group churn, match stability, verification failure rate) that a
+deployment would monitor.
+"""
+
+from repro.sim.simulation import MobileServiceSimulation, SimConfig, StepMetrics
+
+__all__ = ["MobileServiceSimulation", "SimConfig", "StepMetrics"]

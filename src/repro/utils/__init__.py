@@ -1,0 +1,31 @@
+"""Shared utilities: bit packing, deterministic randomness, statistics,
+wire serialization, and operation-count instrumentation."""
+
+from repro.utils.bits import (
+    bit_length_ceil,
+    bytes_to_int,
+    int_to_bytes,
+    pack_blocks,
+    unpack_blocks,
+)
+from repro.utils.rand import DeterministicStream, SystemRandomSource
+from repro.utils.stats import (
+    empirical_entropy,
+    entropy_from_counts,
+    landmark_values,
+    perfect_entropy,
+)
+
+__all__ = [
+    "bit_length_ceil",
+    "bytes_to_int",
+    "int_to_bytes",
+    "pack_blocks",
+    "unpack_blocks",
+    "DeterministicStream",
+    "SystemRandomSource",
+    "empirical_entropy",
+    "entropy_from_counts",
+    "landmark_values",
+    "perfect_entropy",
+]

@@ -1,0 +1,101 @@
+"""Entropy and landmark statistics over attribute-value populations.
+
+These implement the two diagnostic quantities from Section IV of the paper:
+
+* Eq. (1): the Shannon entropy of a social attribute,
+  ``H(A) = -sum_i (T_i/U) log2 (T_i/U)``, where ``T_i`` counts users holding
+  value ``i`` and ``U`` is the total user count.
+* Definition 2: a *landmark attribute value* is a value whose probability
+  ``T_i/U`` exceeds a threshold ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "empirical_entropy",
+    "entropy_from_counts",
+    "entropy_from_probs",
+    "landmark_values",
+    "perfect_entropy",
+    "value_frequencies",
+]
+
+
+def value_frequencies(values: Iterable[Hashable]) -> Dict[Hashable, int]:
+    """Count occurrences of each attribute value."""
+    return dict(Counter(values))
+
+
+def entropy_from_counts(counts: Mapping[Hashable, int]) -> float:
+    """Shannon entropy in bits from a value -> count mapping (paper Eq. 1)."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ParameterError("entropy needs a non-empty population")
+    entropy = 0.0
+    for count in counts.values():
+        if count < 0:
+            raise ParameterError("counts must be non-negative")
+        if count == 0:
+            continue
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def entropy_from_probs(probs: Sequence[float]) -> float:
+    """Shannon entropy in bits of an explicit probability vector."""
+    total = sum(probs)
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-6):
+        raise ParameterError(f"probabilities must sum to 1, got {total}")
+    entropy = 0.0
+    for p in probs:
+        if p < 0:
+            raise ParameterError("probabilities must be non-negative")
+        if p > 0:
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def empirical_entropy(values: Iterable[Hashable]) -> float:
+    """Shannon entropy in bits of a sample of attribute values."""
+    return entropy_from_counts(value_frequencies(values))
+
+
+def perfect_entropy(bits: int) -> float:
+    """The theoretical entropy limit of a ``bits``-bit message space.
+
+    This is the "perfect entropy" line of Fig. 4(a): a uniform distribution
+    over ``2**bits`` values has exactly ``bits`` bits of entropy.
+    """
+    if bits < 0:
+        raise ParameterError("bits must be non-negative")
+    return float(bits)
+
+
+def landmark_values(
+    counts: Mapping[Hashable, int], tau: float
+) -> List[Tuple[Hashable, float]]:
+    """Return the landmark values of an attribute (paper Definition 2).
+
+    A value is a landmark when its empirical probability ``T_i/U`` is larger
+    than ``tau``.  Returns ``(value, probability)`` pairs sorted by
+    descending probability.
+    """
+    if not 0 < tau < 1:
+        raise ParameterError(f"tau must be in (0, 1), got {tau}")
+    total = sum(counts.values())
+    if total <= 0:
+        raise ParameterError("landmark detection needs a non-empty population")
+    landmarks = [
+        (value, count / total)
+        for value, count in counts.items()
+        if count / total > tau
+    ]
+    landmarks.sort(key=lambda pair: pair[1], reverse=True)
+    return landmarks

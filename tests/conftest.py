@@ -1,0 +1,70 @@
+"""Shared fixtures: seeded randomness, a small scheme, a small population.
+
+Everything here is deterministic (seeded) so failures reproduce exactly.
+Module-scoped fixtures amortize the expensive setup (OPRF keys, enrollment)
+across the tests of one file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import ProfileSchema
+from repro.core.scheme import SMatch, SMatchParams
+from repro.crypto.fixtures import fixed_rsa_keypair
+from repro.crypto.oprf import RsaOprfServer
+from repro.datasets.synthetic import INFOCOM06, ClusteredPopulation
+from repro.utils.rand import SystemRandomSource
+
+
+@pytest.fixture
+def rng() -> SystemRandomSource:
+    return SystemRandomSource(seed=1234)
+
+
+@pytest.fixture(scope="module")
+def oprf_server() -> RsaOprfServer:
+    return RsaOprfServer(
+        keypair=fixed_rsa_keypair(1024), rng=SystemRandomSource(seed=99)
+    )
+
+
+@pytest.fixture(scope="module")
+def small_schema() -> ProfileSchema:
+    return ProfileSchema.uniform(
+        ["gender", "education", "age", "interest_a", "interest_b", "city"],
+        1 << 15,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_scheme(oprf_server, small_schema) -> SMatch:
+    params = SMatchParams(schema=small_schema, theta=8, plaintext_bits=64)
+    return SMatch(
+        params,
+        oprf_server=oprf_server,
+        rng=SystemRandomSource(seed=42),
+    )
+
+
+@pytest.fixture(scope="module")
+def population() -> ClusteredPopulation:
+    return ClusteredPopulation(
+        INFOCOM06, theta=8, rng=SystemRandomSource(seed=77)
+    )
+
+
+@pytest.fixture(scope="module")
+def enrolled(population):
+    """(scheme, users, uploads, keys) for a 30-user Infocom06 population."""
+    users = population.generate(30)
+    scheme_rng = SystemRandomSource(seed=43)
+    scheme = SMatch(
+        SMatchParams(schema=population.schema, theta=8, plaintext_bits=64),
+        oprf_server=RsaOprfServer(
+            keypair=fixed_rsa_keypair(1024), rng=scheme_rng
+        ),
+        rng=scheme_rng,
+    )
+    uploads, keys = scheme.enroll_population([u.profile for u in users])
+    return scheme, users, uploads, keys

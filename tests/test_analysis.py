@@ -1,0 +1,113 @@
+"""Tests for growth-law fitting and crossover detection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import crossover_point, loglog_slope, scaling_factor
+from repro.errors import ParameterError
+
+
+class TestLogLogSlope:
+    def test_linear(self):
+        xs = [1, 2, 4, 8]
+        assert loglog_slope(xs, [3 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        xs = [1, 2, 4, 8, 16]
+        assert loglog_slope(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_cubic_with_constant(self):
+        xs = [64, 128, 256, 512]
+        assert loglog_slope(xs, [0.001 * x**3 for x in xs]) == pytest.approx(3.0)
+
+    def test_flat(self):
+        assert loglog_slope([1, 2, 4], [5, 5, 5]) == pytest.approx(0.0)
+
+    @given(
+        st.floats(min_value=0.2, max_value=4.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_recovers_exponent(self, exponent, coeff):
+        xs = [2.0**i for i in range(1, 7)]
+        ys = [coeff * x**exponent for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(exponent, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            loglog_slope([1], [1])
+        with pytest.raises(ParameterError):
+            loglog_slope([1, 2], [0, 1])
+        with pytest.raises(ParameterError):
+            loglog_slope([1, 2], [1])
+        with pytest.raises(ParameterError):
+            loglog_slope([3, 3], [1, 2])
+
+
+class TestCrossover:
+    def test_crossing_detected(self):
+        xs = [1, 2, 4, 8]
+        flat = [10, 10, 10, 10]
+        growing = [1, 5, 25, 125]
+        x_star = crossover_point(xs, flat, growing)
+        assert x_star is not None
+        assert 2 < x_star < 4  # growing passes 10 between x=2 and x=4
+
+    def test_no_crossing(self):
+        xs = [1, 2, 4]
+        assert crossover_point(xs, [1, 1, 1], [10, 20, 30]) is None
+        assert crossover_point(xs, [10, 20, 30], [1, 1, 1]) is None
+
+    def test_exact_tie_point(self):
+        xs = [1, 2, 4]
+        x_star = crossover_point(xs, [5, 10, 20], [1, 10, 100])
+        assert x_star == pytest.approx(2.0)
+
+    def test_interpolation_is_logspace(self):
+        xs = [64, 2048]
+        a = [100.0, 100.0]
+        b = [10.0, 1000.0]
+        x_star = crossover_point(xs, a, b)
+        # the log-space interpolant of b crosses the flat line of a at the
+        # geometric midpoint: sqrt(64 * 2048)
+        assert x_star == pytest.approx(math.sqrt(64 * 2048), rel=0.01)
+
+
+class TestScalingFactor:
+    def test_constant_ratio(self):
+        assert scaling_factor([1, 2, 4], [10, 20, 40]) == pytest.approx(10.0)
+
+    def test_geometric_mean(self):
+        assert scaling_factor([1, 1], [2, 8]) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            scaling_factor([], [])
+        with pytest.raises(ParameterError):
+            scaling_factor([1, -1], [1, 1])
+
+
+class TestOnRealMeasurements:
+    def test_homopm_growth_superquadratic(self):
+        """homoPM's client cost grows with exponent > 1.5 in k (its modulus
+        scales with k and modexp is superlinear in the modulus)."""
+        from repro.experiments.fig4cde import client_costs_ms, DATASETS
+
+        xs = [64, 256, 1024]
+        ys = [
+            client_costs_ms(DATASETS["Infocom06"], k, repeats=1)["homoPM"]
+            for k in xs
+        ]
+        assert loglog_slope(xs, ys) > 1.5
+
+    def test_pm_growth_sublinear_or_mild(self):
+        from repro.experiments.fig4cde import client_costs_ms, DATASETS
+
+        xs = [64, 256, 1024]
+        ys = [
+            client_costs_ms(DATASETS["Infocom06"], k, repeats=1)["PM"]
+            for k in xs
+        ]
+        assert loglog_slope(xs, ys) < 1.2

@@ -1,0 +1,168 @@
+"""Tests for the attack models (PR-OKPA, frequency analysis, PR-KK)."""
+
+import pytest
+
+from repro.attacks.collusion import (
+    collusion_attack,
+    shared_key_exposure,
+    worst_case_advantage,
+)
+from repro.attacks.frequency import FrequencyAnalysis
+from repro.attacks.okpa import OkpaAdversary, okpa_search_space
+from repro.crypto.ope import OPE, OpeParams
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+class TestOkpaSearchSpace:
+    def test_paper_example_shape(self):
+        """Figure 1: known pairs bracket the target; density sets N."""
+        known = [(3, 30), (7, 70)]
+        sparse_store = [10, 30, 40, 50, 60, 70, 90]
+        assert okpa_search_space(known, sparse_store, 5) == [40, 50, 60]
+
+    def test_exact_hit(self):
+        assert okpa_search_space([(5, 55)], [10, 55, 90], 5) == [55]
+
+    def test_no_known_pairs_returns_all(self):
+        assert okpa_search_space([], [3, 1, 2], 5) == [1, 2, 3]
+
+    def test_target_below_all_known(self):
+        known = [(10, 100)]
+        store = [20, 50, 100, 150]
+        assert okpa_search_space(known, store, 5) == [20, 50]
+
+    def test_target_above_all_known(self):
+        known = [(10, 100)]
+        store = [20, 100, 150, 160]
+        assert okpa_search_space(known, store, 50) == [150, 160]
+
+    def test_duplicate_known_plaintext_rejected(self):
+        with pytest.raises(ParameterError):
+            okpa_search_space([(1, 10), (1, 11)], [10, 11], 5)
+
+    def test_denser_store_larger_space(self):
+        ope = OPE(b"okpa" + bytes(28), OpeParams(plaintext_bits=12))
+        known = [(100, ope.encrypt(100)), (3000, ope.encrypt(3000))]
+        sparse = [ope.encrypt(v) for v in range(100, 3001, 500)]
+        dense = [ope.encrypt(v) for v in range(100, 3001, 50)]
+        n_sparse = len(okpa_search_space(known, sparse, 1500))
+        n_dense = len(okpa_search_space(known, dense, 1500))
+        assert n_dense > n_sparse
+
+
+class TestOkpaAdversary:
+    def test_play_success_on_tiny_space(self):
+        ope = OPE(b"okpa" + bytes(28), OpeParams(plaintext_bits=8))
+        adversary = OkpaAdversary(rng=SystemRandomSource(seed=111))
+        outcome = adversary.play(
+            ope.encrypt,
+            population_plaintexts=[10, 20, 30],
+            known_plaintexts=[10, 30],
+            target_plaintext=20,
+        )
+        assert outcome.search_space_size == 1
+        assert outcome.success
+        assert outcome.guess_probability == 1.0
+
+    def test_target_must_be_stored(self):
+        ope = OPE(b"okpa" + bytes(28), OpeParams(plaintext_bits=8))
+        adversary = OkpaAdversary(rng=SystemRandomSource(seed=112))
+        with pytest.raises(ParameterError):
+            adversary.play(ope.encrypt, [1, 2], [1], 99)
+
+    def test_average_search_space(self):
+        ope = OPE(b"okpa" + bytes(28), OpeParams(plaintext_bits=8))
+        adversary = OkpaAdversary(rng=SystemRandomSource(seed=113))
+        avg = adversary.average_search_space(
+            ope.encrypt,
+            population_plaintexts=list(range(0, 100, 10)),
+            known_plaintexts=[0, 90],
+            targets=[10, 20, 30],
+        )
+        assert avg > 0
+
+
+class TestFrequencyAnalysis:
+    def test_landmark_recovered_under_deterministic_encryption(self):
+        probs = [0.85, 0.1, 0.05]
+        rng = SystemRandomSource(seed=114)
+        values = [0] * 85 + [1] * 10 + [2] * 5
+        rng.shuffle(values)
+        ope = OPE(b"freq" + bytes(28), OpeParams(plaintext_bits=4))
+        column = [ope.encrypt(v) for v in values]
+        analysis = FrequencyAnalysis(probs)
+        result = analysis.attack_column(column, values)
+        assert result.accuracy > 0.8
+        assert analysis.landmark_recovery_rate(column, values, tau=0.8) == 1.0
+
+    def test_randomized_mapping_defeats_attack(self):
+        """One-to-N mapping: every ciphertext is (nearly) unique, so the
+        frequency rank carries no signal."""
+        from repro.core.entropy import AttributeMapping
+
+        probs = [0.85, 0.1, 0.05]
+        rng = SystemRandomSource(seed=115)
+        values = ([0] * 85 + [1] * 10 + [2] * 5)
+        rng.shuffle(values)
+        mapping = AttributeMapping(probs, k=32)
+        column = [mapping.map_value(v, rng) for v in values]
+        analysis = FrequencyAnalysis(probs)
+        result = analysis.attack_column(column, values)
+        assert result.accuracy < 0.5
+
+    def test_no_landmark_raises(self):
+        analysis = FrequencyAnalysis([0.5, 0.5])
+        with pytest.raises(ParameterError):
+            analysis.landmark_recovery_rate([1, 2], [0, 1], tau=0.8)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FrequencyAnalysis([])
+        analysis = FrequencyAnalysis([1.0])
+        with pytest.raises(ParameterError):
+            analysis.attack_column([1], [0, 1])
+        with pytest.raises(ParameterError):
+            analysis.attack_column([], [])
+
+
+class TestCollusion:
+    def test_smatch_confines_exposure(self, enrolled):
+        _, users, uploads, keys = enrolled
+        colluder = users[0].profile.user_id
+        outcome = collusion_attack(uploads, colluder, keys[colluder])
+        assert colluder in outcome.exposed_users
+        assert outcome.advantage < 1.0
+        # exposure is exactly the colluder's key group
+        group_size = sum(
+            1
+            for payload in uploads.values()
+            if payload.key_index == uploads[colluder].key_index
+        )
+        assert len(outcome.exposed_users) == group_size
+
+    def test_shared_key_exposes_everyone(self):
+        outcome = shared_key_exposure([1, 2, 3, 4], colluder=2)
+        assert outcome.advantage == 1.0
+        assert outcome.exposed_users == (1, 2, 3, 4)
+
+    def test_worst_case_is_largest_group(self, enrolled):
+        _, _, uploads, keys = enrolled
+        worst = worst_case_advantage(uploads, keys)
+        sizes = {}
+        for payload in uploads.values():
+            sizes[payload.key_index] = sizes.get(payload.key_index, 0) + 1
+        assert worst == pytest.approx(max(sizes.values()) / len(uploads))
+
+    def test_key_must_match_upload(self, enrolled):
+        _, users, uploads, keys = enrolled
+        a, b = users[0].profile.user_id, users[-1].profile.user_id
+        if uploads[a].key_index != uploads[b].key_index:
+            with pytest.raises(ParameterError):
+                collusion_attack(uploads, a, keys[b])
+
+    def test_unknown_colluder(self, enrolled):
+        _, _, uploads, keys = enrolled
+        some_key = next(iter(keys.values()))
+        with pytest.raises(ParameterError):
+            collusion_attack(uploads, 424242, some_key)

@@ -1,0 +1,195 @@
+"""Tests for the baseline schemes: homoPM, PSI, naive OPE, Table-I rows."""
+
+import pytest
+
+from repro.baselines.base import SCHEME_CAPABILITIES
+from repro.baselines.homopm import HomoPM
+from repro.baselines.naive_ope import NaiveOpeScheme
+from repro.baselines.psi import PsiMatcher, PsiParty
+from repro.core.profile import Profile, ProfileSchema
+from repro.crypto.fixtures import fixed_paillier_keypair
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+@pytest.fixture(scope="module")
+def homo():
+    rng = SystemRandomSource(seed=91)
+    bits = HomoPM.default_modulus_bits(4, 16)
+    return HomoPM(
+        num_attributes=4,
+        plaintext_bits=16,
+        rng=rng,
+        keypair=fixed_paillier_keypair(bits),
+    )
+
+
+class TestHomoPM:
+    def test_distance_is_l2_squared(self, homo):
+        a = [10, 20, 30, 40]
+        b = [12, 20, 27, 40]
+        query = homo.prepare_query(a)
+        ct = homo.distance_ciphertext(query, b)
+        expected = sum((x - y) ** 2 for x, y in zip(a, b))
+        assert homo.keypair.decrypt(ct) == expected
+
+    def test_zero_distance_for_identical(self, homo):
+        a = [7, 8, 9, 10]
+        query = homo.prepare_query(a)
+        assert homo.keypair.decrypt(homo.distance_ciphertext(query, a)) == 0
+
+    def test_top_k_ranks_by_distance(self, homo):
+        a = [100, 100, 100, 100]
+        candidates = {
+            1: [100, 100, 100, 101],  # dist 1
+            2: [100, 100, 100, 100],  # dist 0
+            3: [200, 200, 200, 200],  # far
+        }
+        query = homo.prepare_query(a)
+        encrypted = homo.match_all(query, candidates, blind=False)
+        assert homo.top_k(encrypted, 2) == [2, 1]
+
+    def test_blinding_preserves_ranking(self, homo):
+        a = [5, 5, 5, 5]
+        candidates = {1: [5, 5, 5, 6], 2: [5, 5, 5, 5], 3: [50, 5, 5, 5]}
+        query = homo.prepare_query(a)
+        encrypted = homo.match_all(query, candidates, blind=True)
+        assert homo.top_k(encrypted, 3) == [2, 1, 3]
+
+    def test_exclude_self(self, homo):
+        a = [1, 1, 1, 1]
+        query = homo.prepare_query(a)
+        encrypted = homo.match_all(query, {1: a, 2: [2, 1, 1, 1]}, blind=False)
+        assert homo.top_k(encrypted, 5, exclude=1) == [2]
+
+    def test_modulus_sizing(self):
+        assert HomoPM.default_modulus_bits(6, 64) == 256
+        assert HomoPM.default_modulus_bits(6, 1024) == 2176
+        assert HomoPM.default_modulus_bits(17, 2048) == 4224
+
+    def test_value_range_enforced(self, homo):
+        with pytest.raises(ParameterError):
+            homo.prepare_query([1 << 16, 0, 0, 0])
+        with pytest.raises(ParameterError):
+            homo.prepare_query([1, 2, 3])
+
+    def test_query_wire_bits(self, homo):
+        query = homo.prepare_query([1, 2, 3, 4])
+        n_bits = homo.keypair.public.n.bit_length()
+        assert query.wire_bits == n_bits + 2 * 4 * 2 * n_bits
+
+
+class TestPsi:
+    def test_intersection_cardinality(self):
+        rng = SystemRandomSource(seed=92)
+        matcher = PsiMatcher()
+        score = matcher.match_score([1, 2, 3, 4], [1, 2, 9, 4], rng=rng)
+        assert score == 3  # positions 0, 1, 3 agree
+
+    def test_disjoint_profiles(self):
+        rng = SystemRandomSource(seed=93)
+        matcher = PsiMatcher()
+        assert matcher.match_score([1, 2], [3, 4], rng=rng) == 0
+
+    def test_attribute_position_matters(self):
+        """Same value at different positions is NOT a shared attribute."""
+        rng = SystemRandomSource(seed=94)
+        matcher = PsiMatcher()
+        assert matcher.match_score([7, 8], [8, 7], rng=rng) == 0
+
+    def test_not_fine_grained(self):
+        """PSI cannot distinguish a near-miss from a far miss (Table I)."""
+        rng = SystemRandomSource(seed=95)
+        matcher = PsiMatcher()
+        base = [10, 20, 30]
+        near = [10, 20, 31]
+        far = [10, 20, 3000]
+        assert matcher.match_score(base, near, rng=rng) == matcher.match_score(
+            base, far, rng=rng
+        )
+
+    def test_commutativity_of_encryption(self):
+        rng = SystemRandomSource(seed=96)
+        items = PsiMatcher.attribute_items([1, 2, 3])
+        a = PsiParty(items, rng=rng)
+        b = PsiParty(items, rng=rng)
+        ab = set(b.second_pass(a.first_pass()))
+        ba = set(a.second_pass(b.first_pass()))
+        assert ab == ba
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ParameterError):
+            PsiParty([])
+
+
+class TestNaiveOpe:
+    SCHEMA = ProfileSchema.uniform(["a", "b"], 256)
+
+    def test_matching_works_functionally(self):
+        rng = SystemRandomSource(seed=97)
+        scheme = NaiveOpeScheme(plaintext_bits=8, rng=rng)
+        profiles = [
+            Profile(1, self.SCHEMA, (10, 10)),
+            Profile(2, self.SCHEMA, (11, 11)),
+            Profile(3, self.SCHEMA, (200, 200)),
+        ]
+        cts = scheme.encrypt_population(profiles)
+        assert scheme.match(cts, 1, 1) == [2]
+
+    def test_single_shared_key_exposure(self):
+        """The key-sharing failure: one leak decrypts everyone."""
+        rng = SystemRandomSource(seed=98)
+        scheme = NaiveOpeScheme(plaintext_bits=8, rng=rng)
+        profiles = [Profile(i, self.SCHEMA, (i, i)) for i in range(1, 6)]
+        cts = scheme.encrypt_population(profiles)
+        leaked = scheme.leak_key()
+        for profile in profiles:
+            recovered = [
+                scheme.decrypt_with_key(leaked, ct)
+                for ct in cts[profile.user_id]
+            ]
+            assert recovered == list(profile.values)
+
+    def test_value_out_of_domain(self):
+        rng = SystemRandomSource(seed=99)
+        scheme = NaiveOpeScheme(plaintext_bits=4, rng=rng)
+        with pytest.raises(ParameterError):
+            scheme.encrypt_profile(Profile(1, self.SCHEMA, (100, 0)))
+
+    def test_deterministic_ciphertexts_leak_equality(self):
+        rng = SystemRandomSource(seed=100)
+        scheme = NaiveOpeScheme(plaintext_bits=8, rng=rng)
+        a = scheme.encrypt_profile(Profile(1, self.SCHEMA, (5, 9)))
+        b = scheme.encrypt_profile(Profile(2, self.SCHEMA, (5, 9)))
+        assert a == b  # the landmark-frequency leakage vector
+
+
+class TestCapabilities:
+    def test_table1_has_six_schemes(self):
+        assert len(SCHEME_CAPABILITIES) == 6
+
+    def test_smatch_row(self):
+        row = SCHEME_CAPABILITIES["S-MATCH"].row()
+        assert row["Category"] == "SE"
+        assert row["Security"] == "M/HBC"
+        assert row["Verification"] == "yes"
+        assert row["Fine-grained Match"] == "yes"
+        assert row["Fuzzy Match"] == "yes"
+
+    def test_only_smatch_and_zll13_verifiable(self):
+        verifiable = [
+            name
+            for name, cap in SCHEME_CAPABILITIES.items()
+            if cap.verification
+        ]
+        assert sorted(verifiable) == ["S-MATCH", "ZLL13"]
+
+    def test_implemented_schemes(self):
+        implemented = {
+            n for n, c in SCHEME_CAPABILITIES.items() if c.implemented
+        }
+        assert implemented == set(SCHEME_CAPABILITIES)  # every Table-I row
+
+    def test_only_smatch_fuzzy(self):
+        fuzzy = [n for n, c in SCHEME_CAPABILITIES.items() if c.fuzzy]
+        assert fuzzy == ["S-MATCH"]

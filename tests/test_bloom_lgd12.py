@@ -1,0 +1,186 @@
+"""Tests for the NCD13 bloom-filter finder and the LGD12 fair exchange."""
+
+import pytest
+
+from repro.baselines.bloom import BloomFilter, Ncd13Party, run_common_attributes
+from repro.baselines.lgd12 import (
+    BlindOpening,
+    Lgd12Initiator,
+    Lgd12Responder,
+)
+from repro.baselines.homopm import HomoPM
+from repro.crypto.fixtures import fixed_paillier_keypair
+from repro.errors import ParameterError, VerificationError
+from repro.utils.rand import SystemRandomSource
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bf = BloomFilter.for_capacity(100)
+        for i in range(50):
+            bf.add(f"item-{i}".encode())
+        assert all(f"item-{i}".encode() in bf for i in range(50))
+
+    def test_false_positive_rate_bounded(self):
+        bf = BloomFilter.for_capacity(200, false_positive_rate=0.01)
+        for i in range(200):
+            bf.add(f"member-{i}".encode())
+        false_hits = sum(
+            1 for i in range(2000) if f"outsider-{i}".encode() in bf
+        )
+        assert false_hits / 2000 < 0.05
+
+    def test_sizing_grows_with_capacity(self):
+        small = BloomFilter.for_capacity(10)
+        large = BloomFilter.for_capacity(1000)
+        assert large.num_bits > small.num_bits
+
+    def test_serialization(self):
+        bf = BloomFilter.for_capacity(20)
+        bf.add(b"x")
+        clone = BloomFilter.from_bytes(
+            bf.to_bytes(), bf.num_bits, bf.num_hashes
+        )
+        assert b"x" in clone
+        assert b"y" not in clone
+
+    def test_serialization_size_checked(self):
+        bf = BloomFilter.for_capacity(20)
+        with pytest.raises(ParameterError):
+            BloomFilter.from_bytes(b"short", bf.num_bits, bf.num_hashes)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(num_bits=4, num_hashes=1)
+        with pytest.raises(ParameterError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ParameterError):
+            BloomFilter.for_capacity(10, false_positive_rate=1.5)
+
+    def test_fill_ratio_monotone(self):
+        bf = BloomFilter.for_capacity(50)
+        before = bf.fill_ratio()
+        bf.add(b"e")
+        assert bf.fill_ratio() > before
+
+
+class TestNcd13:
+    def test_common_count(self):
+        rng = SystemRandomSource(seed=701)
+        common, _ = run_common_attributes(
+            [1, 2, 3, 4, 5], [1, 2, 3, 9, 9], rng=rng
+        )
+        assert common == 3
+
+    def test_disjoint(self):
+        rng = SystemRandomSource(seed=702)
+        common, _ = run_common_attributes([1, 2], [3, 4], rng=rng)
+        assert common == 0
+
+    def test_not_fine_grained(self):
+        """Near and far value mismatches look identical (Table I)."""
+        rng = SystemRandomSource(seed=703)
+        near, _ = run_common_attributes([10, 20], [10, 21], rng=rng)
+        far, _ = run_common_attributes([10, 20], [10, 9999], rng=rng)
+        assert near == far == 1
+
+    def test_session_key_agreement(self):
+        rng = SystemRandomSource(seed=704)
+        a = Ncd13Party([1], rng=rng)
+        b = Ncd13Party([1], rng=rng)
+        assert a.session_key(b.dh_public()) == b.session_key(a.dh_public())
+
+    def test_eavesdropper_cannot_probe_filter(self):
+        """Without the session key, candidate elements don't hit the filter."""
+        rng = SystemRandomSource(seed=705)
+        a = Ncd13Party([42, 43], rng=rng)
+        b = Ncd13Party([42, 99], rng=rng)
+        key = b.session_key(a.dh_public())
+        bf = b.build_filter(key)
+        eve = Ncd13Party([42, 43], rng=rng)  # knows candidate values
+        wrong_key = eve.session_key(a.dh_public())  # but not the session key
+        assert eve.count_common(wrong_key, bf) == 0
+
+    def test_invalid_dh_public(self):
+        rng = SystemRandomSource(seed=706)
+        a = Ncd13Party([1], rng=rng)
+        with pytest.raises(ParameterError):
+            a.session_key(0)
+
+
+@pytest.fixture(scope="module")
+def homo_small():
+    rng = SystemRandomSource(seed=710)
+    bits = HomoPM.default_modulus_bits(4, 16)
+    return HomoPM(
+        num_attributes=4,
+        plaintext_bits=16,
+        rng=rng,
+        keypair=fixed_paillier_keypair(bits),
+    )
+
+
+class TestLgd12:
+    def test_full_exchange_recovers_distance(self, homo_small):
+        rng = SystemRandomSource(seed=711)
+        a_vals = [10, 20, 30, 40]
+        b_vals = [12, 20, 27, 40]
+        initiator = Lgd12Initiator(homo_small, a_vals)
+        responder = Lgd12Responder(homo_small, b_vals, rng=rng)
+        query = initiator.start()
+        blinded_msg = responder.respond(query)
+        blinded_value = initiator.receive_blinded(blinded_msg)
+        opening = responder.open_blinds(acknowledgment=True)
+        dist = initiator.finish(opening)
+        assert dist == sum((x - y) ** 2 for x, y in zip(a_vals, b_vals))
+        # the intermediate blinded value differs from the true distance
+        assert blinded_value != dist
+
+    def test_runaway_initiator_learns_only_blinded_value(self, homo_small):
+        """Aborting after step 3 leaves only r*dist+s — the runaway attack
+        the blind transformation defends against."""
+        rng = SystemRandomSource(seed=712)
+        initiator = Lgd12Initiator(homo_small, [1, 2, 3, 4])
+        responder = Lgd12Responder(homo_small, [1, 2, 3, 5], rng=rng)
+        blinded_msg = responder.respond(initiator.start())
+        blinded = initiator.receive_blinded(blinded_msg)
+        true_dist = 1
+        # without the blinds, the value is not the distance and the blinds
+        # are never released
+        assert blinded != true_dist
+        with pytest.raises(VerificationError):
+            responder.open_blinds(acknowledgment=False)
+
+    def test_tampered_opening_detected(self, homo_small):
+        rng = SystemRandomSource(seed=713)
+        initiator = Lgd12Initiator(homo_small, [5, 5, 5, 5])
+        responder = Lgd12Responder(homo_small, [5, 5, 5, 6], rng=rng)
+        initiator.receive_blinded(responder.respond(initiator.start()))
+        opening = responder.open_blinds(acknowledgment=True)
+        forged = BlindOpening(r=opening.r + 1, s=opening.s)
+        with pytest.raises(VerificationError):
+            initiator.finish(forged)
+
+    def test_fine_grained(self, homo_small):
+        """Distances separate near from far values (Table I)."""
+        rng = SystemRandomSource(seed=714)
+
+        def run(b_vals):
+            initiator = Lgd12Initiator(homo_small, [100, 100, 100, 100])
+            responder = Lgd12Responder(homo_small, b_vals, rng=rng)
+            initiator.receive_blinded(responder.respond(initiator.start()))
+            return initiator.finish(
+                responder.open_blinds(acknowledgment=True)
+            )
+
+        assert run([100, 100, 100, 101]) < run([100, 100, 100, 200])
+
+    def test_session_state_machine(self, homo_small):
+        rng = SystemRandomSource(seed=715)
+        responder = Lgd12Responder(homo_small, [1, 2, 3, 4], rng=rng)
+        with pytest.raises(ParameterError):
+            responder.open_blinds(acknowledgment=True)
+        initiator = Lgd12Initiator(homo_small, [1, 2, 3, 4])
+        with pytest.raises(ParameterError):
+            initiator.receive_blinded  # attribute exists
+            initiator.finish(BlindOpening(r=1, s=0))

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "nonexistent"])
+
+    def test_dataset_option(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig5def", "--dataset", "Weibo"]
+        )
+        assert args.dataset == "Weibo"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.users == 30 and args.steps == 10
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Infocom06" in out and "Weibo" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "S-MATCH" in out and "ZZS12" in out
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        assert "search space" in capsys.readouterr().out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "ope_split"]) == 0
+        assert "order preserved" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--users", "8", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "match_precision" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out or "verification" in out

@@ -1,0 +1,88 @@
+"""Tests for random-order attribute chaining."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chaining import AttributeChainer
+from repro.errors import ParameterError
+
+
+class TestChaining:
+    def test_chain_is_permutation(self):
+        chainer = AttributeChainer(b"key-1", 6, 16)
+        values = [10, 20, 30, 40, 50, 60]
+        chained = chainer.chain(values)
+        assert sorted(chained) == sorted(values)
+
+    def test_unchain_inverts(self):
+        chainer = AttributeChainer(b"key-1", 6, 16)
+        values = [1, 2, 3, 4, 5, 6]
+        assert chainer.unchain(chainer.chain(values)) == values
+
+    def test_key_determines_order(self):
+        a = AttributeChainer(b"key-1", 8, 16)
+        b = AttributeChainer(b"key-1", 8, 16)
+        assert a.permutation == b.permutation
+
+    def test_different_keys_different_orders(self):
+        perms = {
+            AttributeChainer(bytes([i]) * 4, 8, 16).permutation
+            for i in range(20)
+        }
+        assert len(perms) > 1
+
+    def test_oversized_value_rejected(self):
+        chainer = AttributeChainer(b"key-1", 2, 8)
+        with pytest.raises(ParameterError):
+            chainer.chain([256, 0])
+
+    def test_wrong_length_rejected(self):
+        chainer = AttributeChainer(b"key-1", 3, 8)
+        with pytest.raises(ParameterError):
+            chainer.chain([1, 2])
+        with pytest.raises(ParameterError):
+            chainer.unchain([1, 2])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            AttributeChainer(b"k", 0, 8)
+        with pytest.raises(ParameterError):
+            AttributeChainer(b"k", 3, 0)
+
+    @given(
+        st.binary(min_size=1, max_size=16),
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            min_size=2,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, key, values):
+        chainer = AttributeChainer(key, len(values), 32)
+        assert chainer.unchain(chainer.chain(values)) == values
+
+
+class TestPacking:
+    def test_pack_unpack(self):
+        chainer = AttributeChainer(b"key-2", 3, 8)
+        chained = chainer.chain([1, 2, 3])
+        assert chainer.unpack(chainer.pack(chained)) == chained
+
+    def test_pack_wrong_length(self):
+        chainer = AttributeChainer(b"key-2", 3, 8)
+        with pytest.raises(ParameterError):
+            chainer.pack([1, 2])
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30)
+    def test_pack_roundtrip(self, values):
+        chainer = AttributeChainer(b"key-3", len(values), 64)
+        chained = chainer.chain(values)
+        assert chainer.unpack(chainer.pack(chained)) == chained

@@ -1,0 +1,135 @@
+"""Tests for the big-jump entropy-increase mapping."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.entropy import AttributeMapping, BigJumpMapper
+from repro.core.profile import ProfileSchema
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+from repro.utils.stats import empirical_entropy
+
+EDUCATION = [0.3, 0.4, 0.2, 0.1]  # the paper's worked example
+
+
+@pytest.fixture
+def mapping():
+    return AttributeMapping(EDUCATION, k=32)
+
+
+@pytest.fixture
+def prng():
+    return SystemRandomSource(seed=51)
+
+
+class TestMapping:
+    def test_roundtrip(self, mapping, prng):
+        for value in range(4):
+            for _ in range(20):
+                assert mapping.unmap_value(mapping.map_value(value, prng)) == value
+
+    def test_order_preserved_across_values(self, mapping, prng):
+        """Slots are ordered by raw value — OPE on mapped values still
+        compares raw values (the third benefit the paper claims)."""
+        for _ in range(20):
+            mapped = [mapping.map_value(v, prng) for v in range(4)]
+            assert mapped == sorted(mapped)
+
+    def test_output_is_k_bits(self, mapping, prng):
+        for v in range(4):
+            assert 0 <= mapping.map_value(v, prng) < (1 << 32)
+
+    def test_big_jump_exists(self, mapping):
+        assert mapping.min_jump() > 0
+
+    def test_candidate_counts_track_probability(self):
+        m = AttributeMapping(EDUCATION, k=32, delta=1000)
+        counts = [m._slot(j)[2] for j in range(4)]
+        assert counts[1] > counts[0] > counts[3]  # 0.4 > 0.3 > 0.1
+
+    def test_one_to_n(self, prng):
+        m = AttributeMapping(EDUCATION, k=32, delta=1000)
+        seen = {m.map_value(1, prng) for _ in range(50)}
+        assert len(seen) > 10  # many candidate strings for one value
+
+    def test_entropy_increases(self):
+        m = AttributeMapping(EDUCATION, k=32)
+        original = -sum(p * math.log2(p) for p in EDUCATION)
+        assert m.analytic_entropy_bits() > original
+        assert m.analytic_entropy_bits() <= 32
+
+    def test_analytic_matches_empirical_at_small_k(self, prng):
+        m = AttributeMapping([0.5, 0.5], k=6, delta=8)
+        samples = []
+        for _ in range(20000):
+            v = 0 if prng.random() < 0.5 else 1
+            samples.append(m.map_value(v, prng))
+        assert empirical_entropy(samples) == pytest.approx(
+            m.analytic_entropy_bits(), abs=0.1
+        )
+
+    def test_invalid_probs(self):
+        with pytest.raises(ParameterError):
+            AttributeMapping([0.5, 0.4], k=16)
+        with pytest.raises(ParameterError):
+            AttributeMapping([-0.1, 1.1], k=16)
+
+    def test_k_too_small(self):
+        with pytest.raises(ParameterError):
+            AttributeMapping([0.25] * 4, k=2)
+
+    def test_invalid_value(self, mapping, prng):
+        with pytest.raises(ParameterError):
+            mapping.map_value(4, prng)
+        with pytest.raises(ParameterError):
+            mapping.unmap_value(-1)
+
+    def test_unmap_rejects_non_candidate(self, mapping):
+        # value 1 not aligned on the candidate lattice of its slot
+        base, spacing, _count = mapping._slot(0)
+        if spacing > 1:
+            with pytest.raises(ParameterError):
+                mapping.unmap_value(base + 1)
+
+    def test_uniform_choice_within_slot(self):
+        mapping = AttributeMapping(EDUCATION, k=32)
+        for value in range(4):
+            prng = SystemRandomSource(seed=value)
+            for _ in range(20):
+                mapped = mapping.map_value(value, prng)
+                base, spacing, count = mapping._slot(value)
+                assert base <= mapped <= base + spacing * (count - 1)
+
+
+class TestBigJumpMapper:
+    SCHEMA = ProfileSchema.uniform(["x", "y"], 4)
+
+    def test_uniform_constructor(self, prng):
+        mapper = BigJumpMapper.uniform(self.SCHEMA, k=16)
+        mapped = mapper.map_profile([0, 3], prng)
+        assert mapper.unmap_profile(mapped) == [0, 3]
+
+    def test_distribution_shape_checked(self):
+        with pytest.raises(ParameterError):
+            BigJumpMapper(self.SCHEMA, [[0.5, 0.5]], k=16)  # one dist, two attrs
+
+    def test_cardinality_mismatch(self):
+        with pytest.raises(ParameterError):
+            BigJumpMapper(self.SCHEMA, [[0.5, 0.5], [0.5, 0.5]], k=16)
+
+    def test_mean_entropy(self):
+        mapper = BigJumpMapper.uniform(self.SCHEMA, k=16)
+        per_attr = mapper.analytic_entropy_bits()
+        assert len(per_attr) == 2
+        assert mapper.mean_entropy_bits() == pytest.approx(
+            sum(per_attr) / 2
+        )
+
+    def test_wrong_length(self, prng):
+        mapper = BigJumpMapper.uniform(self.SCHEMA, k=16)
+        with pytest.raises(ParameterError):
+            mapper.map_profile([1], prng)
+        with pytest.raises(ParameterError):
+            mapper.unmap_profile([1])

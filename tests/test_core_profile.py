@@ -1,0 +1,122 @@
+"""Tests for profiles, schemas, and the Definition-3 distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profile import (
+    AttributeSpec,
+    Profile,
+    ProfileSchema,
+    profile_distance,
+)
+from repro.errors import ParameterError
+
+SCHEMA = ProfileSchema.uniform(["a", "b", "c"], 100)
+
+
+class TestAttributeSpec:
+    def test_valid(self):
+        spec = AttributeSpec("age", 120)
+        assert spec.check_value(0) == 0
+        assert spec.check_value(119) == 119
+
+    def test_out_of_range(self):
+        spec = AttributeSpec("age", 120)
+        with pytest.raises(ParameterError):
+            spec.check_value(120)
+        with pytest.raises(ParameterError):
+            spec.check_value(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            AttributeSpec("", 10)
+        with pytest.raises(ParameterError):
+            AttributeSpec("x", 0)
+
+
+class TestSchema:
+    def test_uniform(self):
+        assert len(SCHEMA) == 3
+        assert SCHEMA.names == ["a", "b", "c"]
+
+    def test_of(self):
+        s = ProfileSchema.of(AttributeSpec("x", 2), AttributeSpec("y", 3))
+        assert s.index_of("y") == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            ProfileSchema.uniform(["a", "a"], 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ProfileSchema(attributes=())
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            SCHEMA.index_of("zzz")
+
+    def test_check_values(self):
+        assert SCHEMA.check_values([1, 2, 3]) == (1, 2, 3)
+        with pytest.raises(ParameterError):
+            SCHEMA.check_values([1, 2])
+        with pytest.raises(ParameterError):
+            SCHEMA.check_values([1, 2, 100])
+
+
+class TestProfile:
+    def test_construction(self):
+        p = Profile(7, SCHEMA, (1, 2, 3))
+        assert p.user_id == 7
+        assert p.value_of("b") == 2
+        assert p.as_dict() == {"a": 1, "b": 2, "c": 3}
+
+    def test_with_values(self):
+        p = Profile(7, SCHEMA, (1, 2, 3)).with_values((4, 5, 6))
+        assert p.values == (4, 5, 6)
+        assert p.user_id == 7
+
+    def test_invalid_user_id(self):
+        with pytest.raises(ParameterError):
+            Profile(0, SCHEMA, (1, 2, 3))
+
+    def test_invalid_values(self):
+        with pytest.raises(ParameterError):
+            Profile(1, SCHEMA, (1, 2))
+
+
+class TestDistance:
+    def test_is_max_norm(self):
+        a = Profile(1, SCHEMA, (10, 20, 30))
+        b = Profile(2, SCHEMA, (12, 27, 30))
+        assert profile_distance(a, b) == 7
+
+    def test_zero_for_identical_values(self):
+        a = Profile(1, SCHEMA, (5, 5, 5))
+        b = Profile(2, SCHEMA, (5, 5, 5))
+        assert profile_distance(a, b) == 0
+
+    def test_symmetry(self):
+        a = Profile(1, SCHEMA, (1, 50, 99))
+        b = Profile(2, SCHEMA, (9, 40, 0))
+        assert profile_distance(a, b) == profile_distance(b, a)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=99), min_size=3, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=99), min_size=3, max_size=3),
+        st.lists(st.integers(min_value=0, max_value=99), min_size=3, max_size=3),
+    )
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, va, vb, vc):
+        a, b, c = (
+            Profile(1, SCHEMA, tuple(va)),
+            Profile(2, SCHEMA, tuple(vb)),
+            Profile(3, SCHEMA, tuple(vc)),
+        )
+        assert profile_distance(a, c) <= profile_distance(a, b) + profile_distance(b, c)
+
+    def test_schema_mismatch(self):
+        other = ProfileSchema.uniform(["a", "b"], 100)
+        with pytest.raises(ParameterError):
+            profile_distance(
+                Profile(1, SCHEMA, (1, 2, 3)), Profile(2, other, (1, 2))
+            )

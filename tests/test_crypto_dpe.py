@@ -1,0 +1,68 @@
+"""Tests for distance-preserving encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.dpe import DPE, DpeParams
+from repro.errors import CiphertextError, KeyError_, ParameterError
+
+KEY = b"dpe-test-key-32-bytes-long......"
+
+
+@pytest.fixture(scope="module")
+def dpe():
+    return DPE(KEY, DpeParams(plaintext_bits=16))
+
+
+vals = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestProperty:
+    @given(vals, vals, vals)
+    @settings(max_examples=60)
+    def test_definition_1_with_k_3(self, dpe, a, b, c):
+        """|m_i - m_j| >= |m_j - m_k| <=> same comparison on ciphertexts."""
+        ca, cb, cc = dpe.encrypt(a), dpe.encrypt(b), dpe.encrypt(c)
+        assert DPE.test_property(ca, cb, cc) == (abs(a - b) >= abs(b - c))
+
+    @given(vals, vals)
+    @settings(max_examples=40)
+    def test_distances_scale_uniformly(self, dpe, a, b):
+        ca, cb = dpe.encrypt(a), dpe.encrypt(b)
+        assert abs(ca - cb) == dpe.scale * abs(a - b)
+
+    @given(vals)
+    @settings(max_examples=40)
+    def test_decrypt_inverts(self, dpe, m):
+        assert dpe.decrypt(dpe.encrypt(m)) == m
+
+    def test_deterministic_from_key(self):
+        a = DPE(KEY, DpeParams(plaintext_bits=16))
+        b = DPE(KEY, DpeParams(plaintext_bits=16))
+        assert a.encrypt(100) == b.encrypt(100)
+
+    def test_key_dependence(self):
+        other = DPE(b"x" * 32, DpeParams(plaintext_bits=16))
+        mine = DPE(KEY, DpeParams(plaintext_bits=16))
+        assert mine.encrypt(100) != other.encrypt(100) or mine.scale != other.scale
+
+
+class TestValidation:
+    def test_out_of_domain(self, dpe):
+        with pytest.raises(ParameterError):
+            dpe.encrypt(1 << 16)
+
+    def test_invalid_ciphertext(self, dpe):
+        ct = dpe.encrypt(5)
+        with pytest.raises(CiphertextError):
+            dpe.decrypt(ct + 1)  # not on the lattice a*m + b
+
+    def test_short_key(self):
+        with pytest.raises(KeyError_):
+            DPE(b"short", DpeParams(plaintext_bits=8))
+
+    def test_params_validation(self):
+        with pytest.raises(ParameterError):
+            DpeParams(plaintext_bits=0)
+        with pytest.raises(ParameterError):
+            DpeParams(plaintext_bits=8, scale_bits=0)

@@ -1,0 +1,108 @@
+"""Additional crypto vectors and cross-cutting invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import ctr_xcrypt
+from repro.crypto.ope import OPE, OpeParams
+from repro.utils.rand import SystemRandomSource
+
+
+class TestCtrMultiBlockVectors:
+    """NIST SP 800-38A F.5.1: all four CTR-AES128 blocks."""
+
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    COUNTER = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+    PLAIN = bytes.fromhex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51"
+        "30c81c46a35ce411e5fbc1191a0a52ef"
+        "f69f2445df4f9b17ad2b417be66c3710"
+    )
+    CIPHER = bytes.fromhex(
+        "874d6191b620e3261bef6864990db6ce"
+        "9806f66b7970fdff8617187bb9fffdff"
+        "5ae4df3edbd5d35e5b4f09020db03eab"
+        "1e031dda2fbe03d1792170a0f3009cee"
+    )
+
+    def test_four_block_message(self):
+        assert ctr_xcrypt(AES(self.KEY), self.COUNTER, self.PLAIN) == self.CIPHER
+
+    def test_partial_final_block(self):
+        out = ctr_xcrypt(AES(self.KEY), self.COUNTER, self.PLAIN[:40])
+        assert out == self.CIPHER[:40]
+
+
+class TestOpeCrossInstance:
+    def test_same_key_same_function_across_instances(self):
+        params = OpeParams(plaintext_bits=20)
+        key = b"cross-instance-key-32-bytes-pad!"
+        a = OPE(key, params)
+        b = OPE(key, params)
+        for m in (0, 1, 123456, (1 << 20) - 1):
+            assert a.encrypt(m) == b.encrypt(m)
+
+    def test_different_params_different_function(self):
+        key = b"cross-instance-key-32-bytes-pad!"
+        narrow = OPE(key, OpeParams(plaintext_bits=16, expansion_bits=8))
+        wide = OPE(key, OpeParams(plaintext_bits=16, expansion_bits=24))
+        assert narrow.encrypt(1234) != wide.encrypt(1234)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_tiny_domains_bijective(self, bits):
+        """On a fully enumerable domain, Enc is a strict order-isomorphism."""
+        ope = OPE(b"tiny-domain-key-32-bytes-padding", OpeParams(plaintext_bits=bits))
+        cts = [ope.encrypt(m) for m in range(1 << bits)]
+        assert cts == sorted(cts)
+        assert len(set(cts)) == len(cts)
+        for m, c in enumerate(cts):
+            assert ope.decrypt(c) == m
+
+
+class TestSubkeyIndependence:
+    """Purpose-bound subkeys never collide across purposes or keys."""
+
+    def test_purposes_disjoint(self):
+        from repro.core.keygen import ProfileKey
+
+        key = ProfileKey(key=b"a" * 32, index=b"b" * 32)
+        purposes = [b"ope", b"chain", b"auth", b"other"]
+        outputs = {key.subkey(p) for p in purposes}
+        assert len(outputs) == len(purposes)
+
+    def test_keys_disjoint(self):
+        from repro.core.keygen import ProfileKey
+
+        k1 = ProfileKey(key=b"a" * 32, index=b"x" * 32)
+        k2 = ProfileKey(key=b"c" * 32, index=b"y" * 32)
+        assert k1.subkey(b"ope") != k2.subkey(b"ope")
+
+
+class TestPaillierChains:
+    def test_long_additive_chain(self):
+        from repro.crypto.fixtures import fixed_paillier_keypair
+
+        kp = fixed_paillier_keypair(256)
+        rng = SystemRandomSource(seed=1001)
+        values = [rng.randrange(0, 1 << 32) for _ in range(20)]
+        acc = kp.public.encrypt(0, rng)
+        for v in values:
+            acc = kp.public.add(acc, kp.public.encrypt(v, rng))
+        assert kp.decrypt(acc) == sum(values)
+
+    def test_mixed_operations(self):
+        from repro.crypto.fixtures import fixed_paillier_keypair
+
+        kp = fixed_paillier_keypair(256)
+        rng = SystemRandomSource(seed=1002)
+        # 3*(x + 5) - x computed homomorphically = 2x + 15
+        x = 1234
+        cx = kp.public.encrypt(x, rng)
+        expr = kp.public.mul_plain(kp.public.add_plain(cx, 5), 3)
+        expr = kp.public.add(
+            expr, kp.public.mul_plain(cx, kp.public.n - 1)
+        )
+        assert kp.decrypt(expr) == 2 * x + 15

@@ -1,0 +1,99 @@
+"""Tests for CTR mode and the encrypt-then-MAC composition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import AeadCiphertext, EtMCipher, ctr_keystream, ctr_xcrypt
+from repro.errors import IntegrityError, ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+class TestCtr:
+    def test_nist_sp800_38a_ctr_vector(self):
+        # NIST SP 800-38A F.5.1 CTR-AES128
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        counter = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = ctr_xcrypt(AES(key), counter, pt)
+        assert ct.hex() == "874d6191b620e3261bef6864990db6ce"
+
+    def test_keystream_length(self):
+        cipher = AES(bytes(16))
+        assert len(ctr_keystream(cipher, bytes(16), 33)) == 33
+        assert len(ctr_keystream(cipher, bytes(16), 0)) == 0
+
+    def test_counter_wraps(self):
+        cipher = AES(bytes(16))
+        ks = ctr_keystream(cipher, b"\xff" * 16, 32)
+        assert len(ks) == 32
+
+    def test_xcrypt_is_involution(self):
+        cipher = AES(bytes(16))
+        nonce = bytes(range(16))
+        data = b"some data of arbitrary length!"
+        assert ctr_xcrypt(cipher, nonce, ctr_xcrypt(cipher, nonce, data)) == data
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(ParameterError):
+            ctr_keystream(AES(bytes(16)), b"short", 10)
+
+
+class TestEtM:
+    @given(st.binary(max_size=300), st.binary(max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_seal_open_roundtrip(self, plaintext, aad):
+        cipher = EtMCipher(b"master-key")
+        rng = SystemRandomSource(seed=9)
+        sealed = cipher.seal(plaintext, aad=aad, rng=rng)
+        assert cipher.open(sealed, aad=aad) == plaintext
+
+    def test_tampered_body_rejected(self):
+        cipher = EtMCipher(b"master-key")
+        sealed = cipher.seal(b"hello world", rng=SystemRandomSource(seed=1))
+        bad = AeadCiphertext(
+            iv=sealed.iv,
+            body=bytes([sealed.body[0] ^ 1]) + sealed.body[1:],
+            tag=sealed.tag,
+        )
+        with pytest.raises(IntegrityError):
+            cipher.open(bad)
+
+    def test_wrong_aad_rejected(self):
+        cipher = EtMCipher(b"master-key")
+        sealed = cipher.seal(b"data", aad=b"ctx1", rng=SystemRandomSource(seed=1))
+        with pytest.raises(IntegrityError):
+            cipher.open(sealed, aad=b"ctx2")
+
+    def test_wrong_key_rejected(self):
+        sealed = EtMCipher(b"key-a").seal(b"data", rng=SystemRandomSource(seed=1))
+        with pytest.raises(IntegrityError):
+            EtMCipher(b"key-b").open(sealed)
+
+    def test_encode_decode(self):
+        cipher = EtMCipher(b"master-key")
+        sealed = cipher.seal(b"payload", rng=SystemRandomSource(seed=2))
+        decoded = AeadCiphertext.decode(sealed.encode())
+        assert decoded == sealed
+        assert cipher.open(decoded) == b"payload"
+
+    def test_decode_too_short(self):
+        with pytest.raises(ParameterError):
+            AeadCiphertext.decode(b"x" * 10)
+
+    def test_wire_size(self):
+        cipher = EtMCipher(b"master-key")
+        sealed = cipher.seal(b"12345", rng=SystemRandomSource(seed=3))
+        assert sealed.wire_size == 16 + 32 + 5
+        assert len(sealed.encode()) == sealed.wire_size
+
+    def test_fresh_iv_per_seal(self):
+        cipher = EtMCipher(b"master-key")
+        rng = SystemRandomSource(seed=4)
+        a = cipher.seal(b"same", rng=rng)
+        b = cipher.seal(b"same", rng=rng)
+        assert a.iv != b.iv and a.body != b.body
+
+    def test_key_size_validation(self):
+        with pytest.raises(ParameterError):
+            EtMCipher(b"master", key_size=20)

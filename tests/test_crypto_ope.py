@@ -1,0 +1,145 @@
+"""Tests for order-preserving encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ope import OPE, AdaptiveOPE, OpeParams
+from repro.errors import CiphertextError, KeyError_, ParameterError
+
+KEY = b"ope-test-key-32-bytes-long......"
+
+
+@pytest.fixture(scope="module")
+def ope16():
+    return OPE(KEY, OpeParams(plaintext_bits=16))
+
+
+class TestParams:
+    def test_sizes(self):
+        p = OpeParams(plaintext_bits=16, expansion_bits=8)
+        assert p.ciphertext_bits == 24
+        assert p.domain_size == 1 << 16
+        assert p.range_size == 1 << 24
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            OpeParams(plaintext_bits=0)
+        with pytest.raises(ParameterError):
+            OpeParams(plaintext_bits=8, expansion_bits=-1)
+        with pytest.raises(ParameterError):
+            OpeParams(plaintext_bits=8, split="weird")
+
+    def test_hypergeometric_domain_cap(self):
+        with pytest.raises(ParameterError):
+            OpeParams(plaintext_bits=32, split="hypergeometric")
+
+    def test_key_size_enforced(self):
+        with pytest.raises(KeyError_):
+            OPE(b"short", OpeParams(plaintext_bits=8))
+
+
+class TestOrderPreservation:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=2,
+            max_size=30,
+            unique=True,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_strictly_monotone(self, ope16, values):
+        values.sort()
+        cts = [ope16.encrypt(v) for v in values]
+        assert cts == sorted(cts)
+        assert len(set(cts)) == len(cts)
+
+    def test_deterministic(self, ope16):
+        assert ope16.encrypt(1234) == ope16.encrypt(1234)
+
+    def test_key_dependence(self):
+        a = OPE(KEY, OpeParams(plaintext_bits=16))
+        b = OPE(b"another-key-32-bytes-long.......", OpeParams(plaintext_bits=16))
+        cts_a = [a.encrypt(v) for v in (10, 500, 60000)]
+        cts_b = [b.encrypt(v) for v in (10, 500, 60000)]
+        assert cts_a != cts_b
+
+    def test_domain_endpoints(self, ope16):
+        lo = ope16.encrypt(0)
+        hi = ope16.encrypt((1 << 16) - 1)
+        assert 0 <= lo < hi < (1 << ope16.params.ciphertext_bits)
+
+    def test_out_of_domain_rejected(self, ope16):
+        with pytest.raises(ParameterError):
+            ope16.encrypt(1 << 16)
+        with pytest.raises(ParameterError):
+            ope16.encrypt(-1)
+
+
+class TestDecrypt:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_inverts_encrypt(self, ope16, m):
+        assert ope16.decrypt(ope16.encrypt(m)) == m
+
+    def test_invalid_ciphertext_rejected(self, ope16):
+        valid = ope16.encrypt(777)
+        probe = valid + 1
+        try:
+            m = ope16.decrypt(probe)
+            # if probe happens to be valid it must decrypt consistently
+            assert ope16.encrypt(m) == probe
+        except CiphertextError:
+            pass
+
+    def test_out_of_range_rejected(self, ope16):
+        with pytest.raises(CiphertextError):
+            ope16.decrypt(1 << ope16.params.ciphertext_bits)
+
+
+class TestDegenerateAndLargeDomains:
+    def test_zero_expansion_is_identity(self):
+        ope = OPE(KEY, OpeParams(plaintext_bits=10, expansion_bits=0))
+        assert all(ope.encrypt(v) == v for v in range(0, 1024, 37))
+
+    def test_large_domain(self):
+        ope = OPE(KEY, OpeParams(plaintext_bits=256))
+        vals = [0, 1 << 128, (1 << 256) - 1]
+        cts = [ope.encrypt(v) for v in vals]
+        assert cts == sorted(cts)
+        assert all(ope.decrypt(c) == v for v, c in zip(vals, cts))
+
+    def test_hypergeometric_split_order(self):
+        ope = OPE(
+            KEY, OpeParams(plaintext_bits=12, expansion_bits=6, split="hypergeometric")
+        )
+        vals = list(range(0, 4096, 173))
+        cts = [ope.encrypt(v) for v in vals]
+        assert cts == sorted(cts)
+        assert len(set(cts)) == len(cts)
+
+    def test_hypergeometric_decrypt(self):
+        ope = OPE(
+            KEY, OpeParams(plaintext_bits=10, expansion_bits=4, split="hypergeometric")
+        )
+        for v in (0, 17, 512, 1023):
+            assert ope.decrypt(ope.encrypt(v)) == v
+
+
+class TestAdaptiveOPE:
+    def test_low_entropy_gets_more_expansion(self):
+        low = AdaptiveOPE.for_entropy(KEY, 64, measured_entropy=8.0)
+        high = AdaptiveOPE.for_entropy(KEY, 64, measured_entropy=60.0)
+        assert low.params.expansion_bits > high.params.expansion_bits
+
+    def test_still_order_preserving(self):
+        ope = AdaptiveOPE.for_entropy(KEY, 32, measured_entropy=10.0)
+        vals = [0, 5, 1 << 20, (1 << 32) - 1]
+        cts = [ope.encrypt(v) for v in vals]
+        assert cts == sorted(cts)
+
+    def test_entropy_validation(self):
+        with pytest.raises(ParameterError):
+            AdaptiveOPE.for_entropy(KEY, 16, measured_entropy=-1)
+        with pytest.raises(ParameterError):
+            AdaptiveOPE.for_entropy(KEY, 16, measured_entropy=17)

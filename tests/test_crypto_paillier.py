@@ -1,0 +1,111 @@
+"""Tests for the Paillier cryptosystem, including homomorphism properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fixtures import fixed_paillier_keypair
+from repro.crypto.paillier import PaillierKeyPair, PaillierPublicKey
+from repro.errors import CiphertextError, ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return fixed_paillier_keypair(256)
+
+
+@pytest.fixture
+def prng():
+    return SystemRandomSource(seed=31)
+
+
+small_ints = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_encrypt_decrypt(self, kp, prng):
+        for m in (0, 1, 42, (1 << 64) - 1):
+            assert kp.decrypt(kp.public.encrypt(m, prng)) == m
+
+    def test_probabilistic_encryption(self, kp, prng):
+        a = kp.public.encrypt(7, prng)
+        b = kp.public.encrypt(7, prng)
+        assert a.value != b.value
+        assert kp.decrypt(a) == kp.decrypt(b) == 7
+
+    def test_plaintext_reduced_mod_n(self, kp, prng):
+        m = kp.public.n + 5
+        assert kp.decrypt(kp.public.encrypt(m, prng)) == 5
+
+    def test_generate_small(self):
+        kp2 = PaillierKeyPair.generate(bits=128, rng=SystemRandomSource(seed=32))
+        assert kp2.public.n.bit_length() == 128
+        r = SystemRandomSource(seed=33)
+        assert kp2.decrypt(kp2.public.encrypt(999, r)) == 999
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ParameterError):
+            PaillierPublicKey(n=10)
+
+    def test_foreign_ciphertext_rejected(self, kp, prng):
+        other = fixed_paillier_keypair(384)
+        ct = other.public.encrypt(1, prng)
+        with pytest.raises(CiphertextError):
+            kp.decrypt(ct)
+
+
+class TestHomomorphisms:
+    @given(small_ints, small_ints)
+    @settings(max_examples=20, deadline=None)
+    def test_additive(self, kp, a, b):
+        prng = SystemRandomSource(seed=34)
+        ca = kp.public.encrypt(a, prng)
+        cb = kp.public.encrypt(b, prng)
+        assert kp.decrypt(kp.public.add(ca, cb)) == (a + b) % kp.public.n
+
+    @given(small_ints, small_ints)
+    @settings(max_examples=20, deadline=None)
+    def test_add_plain(self, kp, a, k):
+        prng = SystemRandomSource(seed=35)
+        ca = kp.public.encrypt(a, prng)
+        assert kp.decrypt(kp.public.add_plain(ca, k)) == (a + k) % kp.public.n
+
+    @given(small_ints, st.integers(min_value=0, max_value=1 << 16))
+    @settings(max_examples=20, deadline=None)
+    def test_mul_plain(self, kp, a, k):
+        prng = SystemRandomSource(seed=36)
+        ca = kp.public.encrypt(a, prng)
+        assert kp.decrypt(kp.public.mul_plain(ca, k)) == (a * k) % kp.public.n
+
+    def test_mul_operator(self, kp, prng):
+        ca = kp.public.encrypt(3, prng)
+        cb = kp.public.encrypt(4, prng)
+        assert kp.decrypt(ca * cb) == 7
+
+    def test_rerandomize_preserves_plaintext(self, kp, prng):
+        ct = kp.public.encrypt(55, prng)
+        rr = kp.public.rerandomize(ct, prng)
+        assert rr.value != ct.value
+        assert kp.decrypt(rr) == 55
+
+    def test_decrypt_signed(self, kp, prng):
+        minus_two = kp.public.n - 2
+        ct = kp.public.encrypt(minus_two, prng)
+        assert kp.decrypt_signed(ct) == -2
+
+    def test_wire_bits(self, kp, prng):
+        ct = kp.public.encrypt(1, prng)
+        assert ct.wire_bits == 2 * kp.public.n.bit_length()
+
+
+class TestDistanceComputation:
+    """The homomorphic (a - b)^2 pattern homoPM relies on."""
+
+    def test_squared_distance(self, kp, prng):
+        a, b = 20, 14
+        pk = kp.public
+        enc_a = pk.encrypt(a, prng)
+        enc_a2 = pk.encrypt(a * a, prng)
+        term = pk.add(enc_a2, pk.mul_plain(enc_a, pk.n - (2 * b) % pk.n))
+        term = pk.add_plain(term, b * b)
+        assert kp.decrypt(term) == (a - b) ** 2

@@ -1,0 +1,173 @@
+"""Tests for the dataset substrate: specs, generators, analysis."""
+
+import pytest
+
+from repro.core.profile import profile_distance
+from repro.datasets import (
+    INFOCOM06,
+    SIGCOMM09,
+    WEIBO,
+    ClusteredPopulation,
+    analyze_samples,
+    analyze_spec,
+    dataset_by_name,
+)
+from repro.datasets.schema import AttributeDistSpec
+from repro.errors import DatasetError, ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+class TestAttributeDistSpec:
+    def test_dominant_solves_target(self):
+        spec = AttributeDistSpec("x", "dominant", 3, 0.82, (0.8, 1.0))
+        probs = spec.solve()
+        from repro.utils.stats import entropy_from_probs
+
+        assert entropy_from_probs(probs) == pytest.approx(0.82, abs=1e-3)
+        assert probs[0] > 0.8
+
+    def test_zipf_solves_target(self):
+        spec = AttributeDistSpec("x", "zipf", 48, 5.34)
+        probs = spec.solve()
+        from repro.utils.stats import entropy_from_probs
+
+        assert entropy_from_probs(probs) == pytest.approx(5.34, abs=1e-3)
+
+    def test_uniform(self):
+        probs = AttributeDistSpec("x", "uniform", 16, 4.0).solve()
+        assert all(p == pytest.approx(1 / 16) for p in probs)
+
+    def test_unreachable_target(self):
+        with pytest.raises(ParameterError):
+            AttributeDistSpec("x", "zipf", 4, 5.0).solve()  # log2(4)=2 < 5
+
+    def test_landmark_window_enforced(self):
+        with pytest.raises(DatasetError):
+            # entropy 2.0 on 3 values needs p0 < 0.8
+            AttributeDistSpec("x", "dominant", 8, 2.8, (0.8, 1.0)).solve()
+
+    def test_invalid_family(self):
+        with pytest.raises(ParameterError):
+            AttributeDistSpec("x", "normal", 4, 1.0)
+
+
+class TestTable2Specs:
+    @pytest.mark.parametrize("spec", [INFOCOM06, SIGCOMM09, WEIBO])
+    def test_entropy_statistics_match_paper(self, spec):
+        props = analyze_spec(spec)
+        assert props.entropy_avg == pytest.approx(spec.paper_entropy_avg, abs=0.01)
+        assert props.entropy_max == pytest.approx(spec.paper_entropy_max, abs=0.01)
+        assert props.entropy_min == pytest.approx(spec.paper_entropy_min, abs=0.01)
+
+    @pytest.mark.parametrize("spec", [INFOCOM06, SIGCOMM09, WEIBO])
+    def test_landmark_counts_match_paper(self, spec):
+        props = analyze_spec(spec)
+        assert props.landmarks_06 == spec.paper_landmarks_06
+        assert props.landmarks_08 == spec.paper_landmarks_08
+
+    def test_node_and_attribute_counts(self):
+        assert (INFOCOM06.num_nodes, INFOCOM06.num_attributes) == (78, 6)
+        assert (SIGCOMM09.num_nodes, SIGCOMM09.num_attributes) == (76, 6)
+        assert (WEIBO.num_nodes, WEIBO.num_attributes) == (1_000_000, 17)
+
+    def test_lookup_by_name(self):
+        assert dataset_by_name("infocom06") is INFOCOM06
+        assert dataset_by_name("WEIBO") is WEIBO
+        with pytest.raises(DatasetError):
+            dataset_by_name("mystery")
+
+
+class TestClusteredPopulation:
+    @pytest.fixture(scope="class")
+    def pop(self):
+        return ClusteredPopulation(
+            INFOCOM06, theta=8, rng=SystemRandomSource(seed=101)
+        )
+
+    def test_generates_requested_count(self, pop):
+        assert len(pop.generate(25)) == 25
+
+    def test_user_ids_sequential(self, pop):
+        users = pop.generate(10)
+        assert [u.profile.user_id for u in users] == list(range(1, 11))
+
+    def test_members_near_center(self, pop):
+        for u in pop.generate(30):
+            center = u.profile.with_values(u.cluster_center)
+            assert profile_distance(u.profile, center) <= 5 * pop.noise_sigma + 1
+
+    def test_centers_decode_to_codewords(self, pop):
+        users = pop.generate(20)
+        for u in users:
+            vec = pop.fuzzy.fuzzy_vector(u.cluster_center)
+            assert pop.fuzzy.code.is_codeword(list(vec))
+
+    def test_distinct_categoricals_distinct_centers(self, pop):
+        users = pop.generate(40)
+        centers = {}
+        for u in users:
+            centers.setdefault(u.categorical, set()).add(u.cluster_center)
+        for variants in centers.values():
+            assert len(variants) == 1  # deterministic center per categorical
+
+    def test_cluster_cap_respected(self, pop):
+        from collections import Counter
+
+        users = pop.generate(60, max_cluster_size=4)
+        # contiguous runs share categorical; count run lengths
+        runs = []
+        current, count = None, 0
+        for u in users:
+            if u.categorical == current:
+                count += 1
+            else:
+                if current is not None:
+                    runs.append(count)
+                current, count = u.categorical, 1
+        runs.append(count)
+        assert max(runs) <= 4
+
+    def test_values_in_schema_domain(self, pop):
+        for u in pop.generate(30):
+            pop.schema.check_values(u.profile.values)
+
+    def test_marginals_follow_spec(self):
+        """Categorical samples follow the solved distributions."""
+        pop = ClusteredPopulation(
+            INFOCOM06, theta=8, rng=SystemRandomSource(seed=102)
+        )
+        samples = [pop.sample_categorical() for _ in range(4000)]
+        props = analyze_samples("sampled", samples)
+        exact = analyze_spec(INFOCOM06)
+        assert props.entropy_avg == pytest.approx(exact.entropy_avg, abs=0.15)
+        assert props.landmarks_08 == exact.landmarks_08
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            ClusteredPopulation(INFOCOM06, theta=0)
+        with pytest.raises(ParameterError):
+            ClusteredPopulation(INFOCOM06, theta=8, noise_fraction=1.5)
+        pop = ClusteredPopulation(
+            INFOCOM06, theta=8, rng=SystemRandomSource(seed=103)
+        )
+        with pytest.raises(ParameterError):
+            pop.generate(0)
+
+
+class TestAnalyzeSamples:
+    def test_empirical_entropy(self):
+        samples = [(0, 0), (0, 1), (1, 0), (1, 1)] * 10
+        props = analyze_samples("uniform2", samples)
+        assert props.entropy_avg == pytest.approx(1.0)
+        assert props.landmarks_06 == 0
+
+    def test_landmark_detection(self):
+        samples = [(0,)] * 90 + [(1,)] * 10
+        props = analyze_samples("landmarky", samples)
+        assert props.landmarks_08 == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            analyze_samples("empty", [])
+        with pytest.raises(ParameterError):
+            analyze_samples("ragged", [(1, 2), (1,)])

@@ -1,0 +1,106 @@
+"""Tests for dataset-spec JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.datasets import INFOCOM06, SIGCOMM09, WEIBO, analyze_spec
+from repro.datasets.io import load_spec, save_spec, spec_from_dict, spec_to_dict
+from repro.errors import DatasetError
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("spec", [INFOCOM06, SIGCOMM09, WEIBO])
+    def test_dict_roundtrip_preserves_statistics(self, spec):
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.name == spec.name
+        assert restored.num_nodes == spec.num_nodes
+        original = analyze_spec(spec)
+        rebuilt = analyze_spec(restored)
+        assert rebuilt.entropy_avg == pytest.approx(original.entropy_avg)
+        assert rebuilt.landmarks_06 == original.landmarks_06
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "infocom.json"
+        save_spec(INFOCOM06, path)
+        restored = load_spec(path)
+        assert restored.attributes == INFOCOM06.attributes
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "spec.json"
+        save_spec(SIGCOMM09, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "smatch-dataset-spec"
+        assert len(data["attributes"]) == 6
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DatasetError):
+            spec_from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = spec_to_dict(INFOCOM06)
+        data["version"] = 99
+        with pytest.raises(DatasetError):
+            spec_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = spec_to_dict(INFOCOM06)
+        del data["attributes"]
+        with pytest.raises(DatasetError):
+            spec_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_spec(path)
+
+    def test_custom_spec_usable(self):
+        """A user-authored spec drives the whole pipeline."""
+        data = {
+            "format": "smatch-dataset-spec",
+            "version": 1,
+            "name": "Custom",
+            "num_nodes": 50,
+            "attributes": [
+                {
+                    "name": "a",
+                    "family": "zipf",
+                    "cardinality": 16,
+                    "target_entropy": 3.0,
+                    "landmark_window": None,
+                },
+                {
+                    "name": "b",
+                    "family": "dominant",
+                    "cardinality": 4,
+                    "target_entropy": 1.0,
+                    "landmark_window": [0.8, 1.0],
+                },
+                {
+                    "name": "c",
+                    "family": "uniform",
+                    "cardinality": 8,
+                    "target_entropy": 3.0,
+                    "landmark_window": None,
+                },
+            ],
+            "paper": {
+                "entropy_avg": 2.33,
+                "entropy_max": 3.0,
+                "entropy_min": 1.0,
+                "landmarks_06": 1,
+                "landmarks_08": 0,
+            },
+        }
+        spec = spec_from_dict(data)
+        from repro.datasets.synthetic import ClusteredPopulation
+        from repro.utils.rand import SystemRandomSource
+
+        pop = ClusteredPopulation(
+            spec, theta=8, rng=SystemRandomSource(seed=31)
+        )
+        users = pop.generate(10)
+        assert len(users) == 10

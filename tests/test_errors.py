@@ -1,0 +1,68 @@
+"""Tests for the exception hierarchy contract."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    CiphertextError,
+    CryptoError,
+    DatasetError,
+    DecodingError,
+    IntegrityError,
+    KeyError_,
+    MatchingError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    SchemeError,
+    TransportError,
+    UncorrectableError,
+    VerificationError,
+)
+
+
+class TestHierarchy:
+    def test_every_exported_error_is_repro_error(self):
+        for name in errors_mod.__all__:
+            cls = getattr(errors_mod, name)
+            assert issubclass(cls, ReproError), name
+
+    def test_branch_structure(self):
+        assert issubclass(IntegrityError, CryptoError)
+        assert issubclass(CiphertextError, CryptoError)
+        assert issubclass(KeyError_, CryptoError)
+        assert issubclass(UncorrectableError, DecodingError)
+        assert issubclass(VerificationError, SchemeError)
+        assert issubclass(MatchingError, SchemeError)
+        assert issubclass(TransportError, ProtocolError)
+
+    def test_parameter_error_is_value_error(self):
+        """Callers using stdlib idioms still catch our validation errors."""
+        assert issubclass(ParameterError, ValueError)
+        with pytest.raises(ValueError):
+            raise ParameterError("x")
+
+    def test_keyerror_does_not_shadow_builtin(self):
+        assert KeyError_ is not KeyError
+        assert not issubclass(KeyError_, KeyError)
+
+    def test_one_catch_all(self):
+        """A single except ReproError guards any library call."""
+        from repro.crypto.ope import OPE, OpeParams
+
+        caught = 0
+        for bad_call in (
+            lambda: OPE(b"short", OpeParams(plaintext_bits=8)),
+            lambda: OpeParams(plaintext_bits=0),
+        ):
+            try:
+                bad_call()
+            except ReproError:
+                caught += 1
+        assert caught == 2
+
+    def test_docstrings_present(self):
+        for name in errors_mod.__all__:
+            assert inspect.getdoc(getattr(errors_mod, name)), name

@@ -1,0 +1,148 @@
+"""Smoke and structure tests for the experiment drivers.
+
+The benchmarks run the full-size experiments; these tests exercise the same
+drivers at miniature scale so failures localize quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    costmodel,
+    fig1,
+    fig4a,
+    fig4b,
+    fig4cde,
+    fig5abc,
+    fig5def,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult
+from repro.errors import ParameterError
+
+
+class TestExperimentResult:
+    def test_add_row_requires_all_columns(self):
+        result = ExperimentResult(name="t", columns=["a", "b"])
+        with pytest.raises(ParameterError):
+            result.add_row(a=1)
+        result.add_row(a=1, b=2)
+        assert result.column("a") == [1]
+
+    def test_unknown_column(self):
+        result = ExperimentResult(name="t", columns=["a"])
+        with pytest.raises(ParameterError):
+            result.column("z")
+
+    def test_format_renders_all_rows(self):
+        result = ExperimentResult(name="t", columns=["x"], notes="note")
+        result.add_row(x=1.23456)
+        text = result.format()
+        assert "t" in text and "1.235" in text and "note" in text
+
+
+class TestDrivers:
+    def test_table1(self):
+        result = table1.run()
+        assert len(result.rows) == 6
+
+    def test_table2(self):
+        result = table2.run()
+        assert [r["Dataset"] for r in result.rows] == [
+            "Infocom06",
+            "Sigcomm09",
+            "Weibo",
+        ]
+
+    def test_fig1_panels(self):
+        result = fig1.paper_panels()
+        assert result.rows[0]["search space N"] == 3
+        assert result.rows[1]["search space N"] == 39
+
+    def test_fig1_generalized_small(self):
+        result = fig1.run(densities=(4, 8), trials=4)
+        assert len(result.rows) == 2
+
+    def test_fig4a_small(self):
+        result = fig4a.run(sizes=(64, 128))
+        assert result.rows[0]["perfect entropy"] == 64.0
+        assert result.rows[1]["Infocom06"] > result.rows[0]["Infocom06"]
+
+    def test_fig4b_tiny(self):
+        rate = fig4b.measure_tpr(
+            fig4b.INFOCOM06, theta=8, num_users=15, seeds=(4,)
+        )
+        assert 0.5 <= rate <= 1.0
+
+    def test_fig4cde_small(self):
+        costs = fig4cde.client_costs_ms(
+            fig4cde.DATASETS["Infocom06"], 64, repeats=1
+        )
+        assert set(costs) == {"PM", "PM+V", "homoPM"}
+        assert costs["PM+V"] >= costs["PM"] > 0
+
+    def test_fig5abc_small(self):
+        costs = fig5abc.server_costs_ms(
+            fig4cde.DATASETS["Infocom06"], 64, num_users=8, repeats=1
+        )
+        assert costs["PM"] > 0 and costs["homoPM"] > 0
+
+    def test_fig5def_small(self):
+        bits = fig5def.comm_costs_bits(fig5def.DATASETS["Infocom06"], 64)
+        assert bits["PM+V"] > bits["PM"] > 0
+        analytic = fig5def.analytic_costs_bits(6, 64, bits["auth"])
+        assert analytic["PM+V"] - analytic["PM"] == 6 * bits["auth"]
+
+    def test_costmodel_phases(self):
+        phases = costmodel.pipeline_op_counts()
+        assert set(phases) == {"keygen", "init_data", "enc", "auth", "vf"}
+
+    def test_build_homopm_uses_fixed_keys(self):
+        homo = fig4cde.build_homopm(6, 64)
+        assert homo.keypair.public.n.bit_length() == 256
+
+
+class TestAblationsSmall:
+    def test_ope_split(self):
+        result = ablations.ope_split_ablation()
+        assert len(result.rows) == 2
+
+    def test_key_sharing_small(self):
+        result = ablations.key_sharing_ablation(num_users=15)
+        shared, fuzzy, worst = result.rows
+        assert shared["advantage"] == 1.0
+        assert fuzzy["advantage"] <= worst["advantage"] <= 1.0
+
+    def test_adaptive_ope(self):
+        result = ablations.adaptive_ope_ablation()
+        assert all(result.column("order preserved"))
+
+
+class TestExtensionExperiments:
+    def test_scaling_small(self):
+        from repro.experiments import scaling
+
+        result = scaling.run(community_sizes=(3, 6))
+        zll = result.column("ZLL13 (bit)")
+        assert zll[1] > zll[0]
+        assert len(set(result.column("S-MATCH PM+V (bit)"))) == 1
+
+    def test_testbed_small(self):
+        from repro.experiments import testbed
+
+        costs = testbed.estimated_client_costs_ms("Infocom06", 64)
+        assert costs["PM"] > 0
+        assert costs["PM+V"] > costs["PM"]
+
+    def test_testbed_devices_differ(self):
+        from repro.client.device import NEXUS_ONE, PC_SERVER
+        from repro.experiments import testbed
+
+        phone = testbed.estimated_client_costs_ms(
+            "Infocom06", 64, device=NEXUS_ONE
+        )
+        pc = testbed.estimated_client_costs_ms(
+            "Infocom06", 64, device=PC_SERVER
+        )
+        assert pc["PM"] < phone["PM"]

@@ -1,0 +1,69 @@
+"""Fuzz-style robustness tests: hostile bytes never crash the parsers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.modes import AeadCiphertext, EtMCipher
+from repro.errors import ReproError
+from repro.server.persistence import dump_store_bytes, load_store_bytes
+from repro.server.storage import ProfileStore
+from repro.utils.serial import FieldReader
+
+
+class TestPersistenceFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80)
+    def test_random_bytes_rejected_cleanly(self, raw):
+        try:
+            load_store_bytes(raw)
+        except ReproError:
+            pass
+
+    @given(
+        pos=st.integers(min_value=0, max_value=200),
+        xor=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60)
+    def test_single_byte_corruption_detected(self, enrolled, pos, xor):
+        _, _, uploads, _ = enrolled
+        store = ProfileStore()
+        store.put(next(iter(uploads.values())))
+        data = bytearray(dump_store_bytes(store))
+        pos %= len(data)
+        if xor == 0:
+            return  # no-op corruption
+        data[pos] ^= xor
+        try:
+            restored = load_store_bytes(bytes(data))
+            # extremely unlikely, but if it parses it must be consistent
+            assert len(restored) <= 1
+        except ReproError:
+            pass
+
+
+class TestAeadFuzz:
+    @given(st.binary(min_size=48, max_size=200))
+    @settings(max_examples=60)
+    def test_random_ciphertexts_never_open(self, raw):
+        cipher = EtMCipher(b"fuzz-key")
+        sealed = AeadCiphertext.decode(raw)
+        with pytest.raises(ReproError):
+            cipher.open(sealed)
+
+    @given(st.binary(max_size=47))
+    @settings(max_examples=30)
+    def test_short_ciphertexts_rejected(self, raw):
+        with pytest.raises(ReproError):
+            AeadCiphertext.decode(raw)
+
+
+class TestFieldReaderFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=80)
+    def test_reader_never_overreads(self, raw):
+        reader = FieldReader(raw)
+        try:
+            while not reader.at_end():
+                reader.read_bytes()
+        except ReproError:
+            pass

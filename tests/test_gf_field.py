@@ -1,0 +1,102 @@
+"""Tests for GF(2^m) arithmetic, including hypothesis-checked field axioms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.gf.field import GF1024, GF2m
+
+GF16 = GF2m.get(4)
+GF256 = GF2m.get(8)
+
+elems16 = st.integers(min_value=0, max_value=15)
+nonzero16 = st.integers(min_value=1, max_value=15)
+
+
+class TestConstruction:
+    def test_cache_returns_same_instance(self):
+        assert GF2m.get(4) is GF2m.get(4)
+
+    def test_paper_field(self):
+        assert GF1024.m == 10
+        assert GF1024.size == 1024
+        assert GF1024.order == 1023
+
+    def test_unsupported_size(self):
+        with pytest.raises(ParameterError):
+            GF2m(1)
+        with pytest.raises(ParameterError):
+            GF2m(17)
+
+    def test_element_validation(self):
+        with pytest.raises(ParameterError):
+            GF16.mul(16, 1)
+        with pytest.raises(ParameterError):
+            GF16.add(-1, 0)
+
+
+class TestAxioms:
+    @given(elems16, elems16, elems16)
+    def test_add_associative_commutative(self, a, b, c):
+        assert GF16.add(a, b) == GF16.add(b, a)
+        assert GF16.add(GF16.add(a, b), c) == GF16.add(a, GF16.add(b, c))
+
+    @given(elems16)
+    def test_add_self_inverse(self, a):
+        assert GF16.add(a, a) == 0
+
+    @given(elems16, elems16, elems16)
+    def test_mul_associative_commutative(self, a, b, c):
+        assert GF16.mul(a, b) == GF16.mul(b, a)
+        assert GF16.mul(GF16.mul(a, b), c) == GF16.mul(a, GF16.mul(b, c))
+
+    @given(elems16, elems16, elems16)
+    def test_distributive(self, a, b, c):
+        assert GF16.mul(a, GF16.add(b, c)) == GF16.add(
+            GF16.mul(a, b), GF16.mul(a, c)
+        )
+
+    @given(elems16)
+    def test_identities(self, a):
+        assert GF16.add(a, 0) == a
+        assert GF16.mul(a, 1) == a
+        assert GF16.mul(a, 0) == 0
+
+    @given(nonzero16)
+    def test_inverse(self, a):
+        assert GF16.mul(a, GF16.inv(a)) == 1
+
+    @given(nonzero16, nonzero16)
+    def test_div_is_mul_inv(self, a, b):
+        assert GF16.div(a, b) == GF16.mul(a, GF16.inv(b))
+
+
+class TestPowers:
+    def test_alpha_generates_group(self):
+        seen = {GF256.alpha_pow(i) for i in range(GF256.order)}
+        assert seen == set(range(1, 256))
+
+    def test_log_inverts_alpha_pow(self):
+        for e in (0, 1, 100, 254):
+            assert GF256.log_alpha(GF256.alpha_pow(e)) == e % GF256.order
+
+    def test_pow_matches_repeated_mul(self):
+        x = 7
+        acc = 1
+        for e in range(10):
+            assert GF16.pow(x, e) == acc
+            acc = GF16.mul(acc, x)
+
+    def test_pow_zero_cases(self):
+        assert GF16.pow(0, 0) == 1
+        assert GF16.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            GF16.pow(0, -1)
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            GF16.inv(0)
+        with pytest.raises(ZeroDivisionError):
+            GF16.div(3, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF16.log_alpha(0)

@@ -1,0 +1,116 @@
+"""Tests for polynomials over GF(2^m)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.gf.field import GF2m
+from repro.gf.poly import Poly
+
+GF16 = GF2m.get(4)
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=0, max_size=8
+)
+
+
+def poly(coeffs):
+    return Poly(GF16, coeffs)
+
+
+class TestStructure:
+    def test_trailing_zeros_trimmed(self):
+        assert poly([1, 2, 0, 0]).coeffs == (1, 2)
+
+    def test_zero_polynomial(self):
+        z = Poly.zero(GF16)
+        assert z.is_zero()
+        assert z.degree == -1
+
+    def test_monomial(self):
+        m = Poly.monomial(GF16, 3, coeff=5)
+        assert m.degree == 3
+        assert m.coeff(3) == 5
+        assert m.coeff(0) == 0
+
+    def test_coeff_beyond_degree_is_zero(self):
+        assert poly([1]).coeff(10) == 0
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ParameterError):
+            poly([16])
+
+    def test_cross_field_rejected(self):
+        other = Poly(GF2m.get(8), [1])
+        with pytest.raises(ParameterError):
+            poly([1]) + other
+
+
+class TestArithmetic:
+    @given(coeff_lists, coeff_lists)
+    def test_add_commutative(self, a, b):
+        assert poly(a) + poly(b) == poly(b) + poly(a)
+
+    @given(coeff_lists)
+    def test_add_self_is_zero(self, a):
+        assert (poly(a) + poly(a)).is_zero()
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_commutative(self, a, b):
+        assert poly(a) * poly(b) == poly(b) * poly(a)
+
+    @given(coeff_lists, coeff_lists, coeff_lists)
+    @settings(max_examples=50)
+    def test_mul_distributes(self, a, b, c):
+        pa, pb, pc = poly(a), poly(b), poly(c)
+        assert pa * (pb + pc) == pa * pb + pa * pc
+
+    def test_mul_degrees_add(self):
+        a, b = poly([1, 1]), poly([3, 0, 1])
+        assert (a * b).degree == a.degree + b.degree
+
+    def test_scale(self):
+        assert poly([1, 2]).scale(3) == poly(
+            [GF16.mul(1, 3), GF16.mul(2, 3)]
+        )
+
+    def test_shift(self):
+        assert poly([1, 2]).shift(2) == poly([0, 0, 1, 2])
+
+    @given(coeff_lists, coeff_lists)
+    @settings(max_examples=50)
+    def test_divmod_identity(self, a, b):
+        pa, pb = poly(a), poly(b)
+        if pb.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                pa.divmod(pb)
+            return
+        q, r = pa.divmod(pb)
+        assert q * pb + r == pa
+        assert r.degree < pb.degree
+
+
+class TestEvaluation:
+    @given(coeff_lists, st.integers(min_value=0, max_value=15))
+    def test_eval_matches_direct_sum(self, coeffs, x):
+        p = poly(coeffs)
+        expected = 0
+        for i, c in enumerate(coeffs):
+            expected ^= GF16.mul(c, GF16.pow(x, i))
+        assert p.eval(x) == expected
+
+    def test_eval_many(self):
+        p = poly([1, 1])
+        assert p.eval_many([0, 1, 2]) == [p.eval(0), p.eval(1), p.eval(2)]
+
+    def test_derivative_char2(self):
+        # d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 in char 2
+        p = poly([5, 7, 9, 11])
+        assert p.derivative() == poly([7, 0, 11])
+
+    def test_roots_of_known_product(self):
+        # (x - 3)(x - 5) has roots 3 and 5 (char 2: x + 3 etc.)
+        p = poly([3, 1]) * poly([5, 1])
+        assert p.eval(3) == 0
+        assert p.eval(5) == 0
+        assert p.eval(7) != 0

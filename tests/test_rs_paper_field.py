@@ -1,0 +1,57 @@
+"""Reed-Solomon at the paper's field size: GF(2^10), n up to 1023."""
+
+import pytest
+
+from repro.gf.field import GF1024
+from repro.rs.code import RSCode
+from repro.rs.decoder import decode
+from repro.utils.rand import SystemRandomSource
+
+
+class TestPaperFieldCodes:
+    def test_full_length_code(self):
+        """An (n=1023, k=1003) code over GF(2^10): t = 10 symbol errors."""
+        rng = SystemRandomSource(seed=1200)
+        code = RSCode(n=1023, k=1003, m=10)
+        assert code.t == 10
+        message = [rng.randrange(0, 1024) for _ in range(1003)]
+        cw = code.encode(message)
+        assert code.is_codeword(cw)
+        received = list(cw)
+        for pos in rng.sample(range(1023), 10):
+            received[pos] ^= rng.randrange(1, 1024)
+        assert decode(code, received) == cw
+
+    def test_profile_shaped_codes(self):
+        """The fuzzy-keygen shapes: (6, 2) and (17, 7) over GF(2^10)."""
+        rng = SystemRandomSource(seed=1201)
+        for n, k in ((6, 2), (17, 7)):
+            code = RSCode(n=n, k=k, m=10)
+            message = [rng.randrange(0, 1024) for _ in range(k)]
+            cw = code.encode(message)
+            received = list(cw)
+            for pos in rng.sample(range(n), code.t):
+                received[pos] ^= rng.randrange(1, 1024)
+            assert decode(code, received) == cw
+
+    def test_field_order(self):
+        assert GF1024.order == 1023
+        # alpha generates the full multiplicative group
+        seen = set()
+        x = 1
+        for _ in range(GF1024.order):
+            seen.add(x)
+            x = GF1024.mul(x, 2)
+        assert len(seen) == 1023
+
+    def test_deep_erasure_recovery(self):
+        """(31, 15) code: recover from the full 16-erasure budget."""
+        rng = SystemRandomSource(seed=1202)
+        code = RSCode(n=31, k=15, m=10)
+        message = [rng.randrange(0, 1024) for _ in range(15)]
+        cw = code.encode(message)
+        erasures = rng.sample(range(31), 16)
+        received = list(cw)
+        for pos in erasures:
+            received[pos] = rng.randrange(0, 1024)
+        assert decode(code, received, erasures=erasures) == cw

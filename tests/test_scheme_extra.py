@@ -1,0 +1,116 @@
+"""Additional scheme-level behaviours: order methods, weights, stability."""
+
+import pytest
+
+from repro.core.scheme import SMatch, SMatchParams
+from repro.crypto.fixtures import fixed_rsa_keypair
+from repro.crypto.oprf import RsaOprfServer
+from repro.datasets import INFOCOM06, ClusteredPopulation
+from repro.utils.rand import SystemRandomSource
+
+
+@pytest.fixture(scope="module")
+def value_method_world():
+    """A population matched with the paper's worked-example 'value' method."""
+    rng = SystemRandomSource(seed=1100)
+    pop = ClusteredPopulation(INFOCOM06, theta=8, rng=rng)
+    users = pop.generate(24)
+    scheme_rng = SystemRandomSource(seed=1101)
+    scheme = SMatch(
+        SMatchParams(
+            schema=pop.schema,
+            theta=8,
+            plaintext_bits=64,
+            order_method="value",
+        ),
+        oprf_server=RsaOprfServer(
+            keypair=fixed_rsa_keypair(1024), rng=scheme_rng
+        ),
+        rng=scheme_rng,
+    )
+    uploads, keys = scheme.enroll_population([u.profile for u in users])
+    return pop, users, scheme, uploads, keys
+
+
+class TestValueOrderMethod:
+    def test_matching_works(self, value_method_world):
+        _, users, scheme, uploads, _ = value_method_world
+        groups = {}
+        for uid, payload in uploads.items():
+            groups.setdefault(payload.key_index, {})[uid] = payload
+        biggest = max(groups.values(), key=len)
+        if len(biggest) < 3:
+            pytest.skip("no big group")
+        uid = next(iter(biggest))
+        result = scheme.match_in_group(biggest, uid, k=2)
+        assert len(result) == 2
+        assert set(result) <= set(biggest) - {uid}
+
+    def test_verification_unaffected_by_order_method(self, value_method_world):
+        _, users, scheme, uploads, keys = value_method_world
+        groups = {}
+        for uid, payload in uploads.items():
+            groups.setdefault(payload.key_index, []).append(uid)
+        multi = [g for g in groups.values() if len(g) >= 2]
+        if not multi:
+            pytest.skip("no group of size >= 2")
+        a, b = multi[0][0], multi[0][1]
+        assert scheme.verify(uploads[b].auth, keys[a])
+
+
+class TestWeightedSchemeMatching:
+    def test_weights_change_neighbour_choice(self, value_method_world):
+        _, users, scheme, uploads, _ = value_method_world
+        groups = {}
+        for uid, payload in uploads.items():
+            groups.setdefault(payload.key_index, {})[uid] = payload
+        biggest = max(groups.values(), key=len)
+        if len(biggest) < 4:
+            pytest.skip("need a group of >= 4")
+        uid = next(iter(biggest))
+        d = len(scheme.params.schema)
+        unweighted = scheme.match_in_group(biggest, uid, k=2)
+        weighted = scheme.match_in_group(
+            biggest, uid, k=2, weights=[1.0] + [0.001] * (d - 1)
+        )
+        # both are valid result sets from the same group
+        assert set(unweighted) <= set(biggest)
+        assert set(weighted) <= set(biggest)
+
+    def test_max_distance_weighted(self, value_method_world):
+        _, users, scheme, uploads, _ = value_method_world
+        groups = {}
+        for uid, payload in uploads.items():
+            groups.setdefault(payload.key_index, {})[uid] = payload
+        biggest = max(groups.values(), key=len)
+        if len(biggest) < 2:
+            pytest.skip("no group of size >= 2")
+        uid = next(iter(biggest))
+        d = len(scheme.params.schema)
+        # the 'value' method sums weighted 64-bit ciphertexts, so a radius
+        # covering the whole group needs ~ d * 2^64 * weight_scale
+        everyone = scheme.match_within_distance(
+            biggest, uid, 10**28, weights=[1.0] * d
+        )
+        assert set(everyone) == set(biggest) - {uid}
+
+
+class TestUploadStability:
+    def test_reenrollment_same_group(self, value_method_world):
+        """Re-enrolling an unchanged profile lands in the same key group
+        (the chain ciphertexts differ — the one-to-N mapping is random —
+        but the fuzzy key is deterministic)."""
+        _, users, scheme, uploads, _ = value_method_world
+        profile = users[0].profile
+        payload2, _ = scheme.enroll(profile)
+        assert payload2.key_index == uploads[profile.user_id].key_index
+        assert payload2.chain != uploads[profile.user_id].chain
+
+    def test_auth_rerandomized_per_enrollment(self, value_method_world):
+        _, users, scheme, uploads, _ = value_method_world
+        profile = users[1].profile
+        payload2, _ = scheme.enroll(profile)
+        assert (
+            payload2.auth.sealed.body
+            != uploads[profile.user_id].auth.sealed.body
+        )

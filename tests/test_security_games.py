@@ -1,0 +1,116 @@
+"""Tests for the executable PR-OKPA / PR-KK security games and bounds."""
+
+import math
+
+import pytest
+
+from repro.attacks.games import (
+    PrKkGame,
+    PrOkpaGame,
+    required_entropy_bits,
+    theorem1_advantage,
+    theorem1_security_level,
+)
+from repro.core.entropy import AttributeMapping
+from repro.crypto.ope import OPE, OpeParams
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+class TestTheorem1Bound:
+    def test_advantage_decreases_with_entropy(self):
+        advantages = [theorem1_advantage(e) for e in (8, 16, 32, 64, 128)]
+        assert advantages == sorted(advantages, reverse=True)
+
+    def test_small_and_large_regimes_agree(self):
+        """The asymptotic branch matches the exact branch at the seam."""
+        from repro.attacks.games import _log2_theorem1_advantage
+
+        exact = _log2_theorem1_advantage(49.0)
+        # evaluate the asymptotic formula at the same entropy
+        import math as m
+
+        asym = m.log2(49.0 * m.log(2) + 0.577) - (48.0 + 49.0)
+        assert m.isclose(exact, asym, rel_tol=1e-6)
+
+    def test_paper_sizing_claim(self):
+        """64-bit entropy achieves at least security level 80 (Section VII-B:
+        'to achieve the security level of 80, the entropy can be configured
+        to 64 bits')."""
+        assert theorem1_security_level(64) >= 80
+
+    def test_required_entropy_is_tight(self):
+        e = required_entropy_bits(80)
+        assert theorem1_security_level(e) >= 80
+        assert theorem1_security_level(e - 1) < 80
+
+    def test_2048_bit_entropy_no_overflow(self):
+        assert theorem1_security_level(2048) > 4000
+        assert theorem1_advantage(2048) < 2**-1000  # may underflow to 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            theorem1_advantage(1)
+        with pytest.raises(ParameterError):
+            required_entropy_bits(0)
+
+
+class TestPrOkpaGame:
+    def test_low_entropy_breaks(self):
+        """A 4-value attribute (2 bits of entropy) is essentially recovered."""
+        rng = SystemRandomSource(seed=501)
+        ope = OPE(b"game" + bytes(28), OpeParams(plaintext_bits=8))
+        game = PrOkpaGame(
+            ope.encrypt, population=[10, 20, 30, 40], known_fraction=0.5, rng=rng
+        )
+        outcome = game.play(rounds=60)
+        assert outcome.empirical_advantage > 0.3
+        assert outcome.mean_search_space < 4
+
+    def test_entropy_increase_defends(self):
+        """After the big-jump mapping the same attack's advantage collapses."""
+        rng = SystemRandomSource(seed=502)
+        mapping = AttributeMapping([0.25] * 4, k=24)
+        population = [
+            mapping.map_value(rng.randrange(0, 4), rng) for _ in range(120)
+        ]
+        ope = OPE(b"game" + bytes(28), OpeParams(plaintext_bits=24))
+        game = PrOkpaGame(
+            ope.encrypt, population=population, known_fraction=0.05, rng=rng
+        )
+        outcome = game.play(rounds=40)
+        assert outcome.empirical_advantage < 0.15
+        assert outcome.mean_search_space > 5
+
+    def test_validation(self):
+        ope = OPE(b"game" + bytes(28), OpeParams(plaintext_bits=8))
+        with pytest.raises(ParameterError):
+            PrOkpaGame(ope.encrypt, population=[])
+        with pytest.raises(ParameterError):
+            PrOkpaGame(ope.encrypt, population=[1], known_fraction=1.0)
+        game = PrOkpaGame(ope.encrypt, population=[1, 2, 3])
+        with pytest.raises(ParameterError):
+            game.play(rounds=0)
+
+
+class TestPrKkGame:
+    def test_theorem2_holds_on_real_population(self, enrolled):
+        _, users, uploads, keys = enrolled
+        game = PrKkGame(uploads, keys)
+        for user in users[:10]:
+            uid = user.profile.user_id
+            assert game.verify_theorem2(uid)
+
+    def test_advantage_is_group_fraction(self, enrolled):
+        _, users, uploads, keys = enrolled
+        game = PrKkGame(uploads, keys)
+        uid = users[0].profile.user_id
+        outcome = game.play(uid)
+        assert outcome.advantage == game.theorem2_advantage(uid)
+        assert outcome.advantage <= 1.0
+
+    def test_mismatched_maps_rejected(self, enrolled):
+        _, _, uploads, keys = enrolled
+        partial = dict(list(keys.items())[:-1])
+        with pytest.raises(ParameterError):
+            PrKkGame(uploads, partial)

@@ -1,0 +1,88 @@
+"""Tests for repro.utils.rand."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.rand import DeterministicStream, SystemRandomSource
+
+
+class TestDeterministicStream:
+    def test_same_key_label_same_output(self):
+        a = DeterministicStream(b"key", b"label").read(64)
+        b = DeterministicStream(b"key", b"label").read(64)
+        assert a == b
+
+    def test_different_labels_diverge(self):
+        a = DeterministicStream(b"key", b"l1").read(32)
+        b = DeterministicStream(b"key", b"l2").read(32)
+        assert a != b
+
+    def test_different_keys_diverge(self):
+        a = DeterministicStream(b"k1").read(32)
+        b = DeterministicStream(b"k2").read(32)
+        assert a != b
+
+    def test_read_is_a_stream(self):
+        s = DeterministicStream(b"key")
+        combined = s.read(10) + s.read(22)
+        assert combined == DeterministicStream(b"key").read(32)
+
+    def test_getrandbits_range(self):
+        s = DeterministicStream(b"key")
+        for bits in (0, 1, 7, 64, 257):
+            v = s.getrandbits(bits)
+            assert 0 <= v < (1 << bits) if bits else v == 0
+
+    def test_randrange_bounds(self):
+        s = DeterministicStream(b"key")
+        for _ in range(200):
+            assert 10 <= s.randrange(10, 17) < 17
+
+    def test_randrange_empty(self):
+        with pytest.raises(ParameterError):
+            DeterministicStream(b"key").randrange(5, 5)
+
+    def test_permutation_is_permutation(self):
+        perm = DeterministicStream(b"key").permutation(20)
+        assert sorted(perm) == list(range(20))
+
+    def test_permutation_deterministic(self):
+        assert (
+            DeterministicStream(b"key").permutation(10)
+            == DeterministicStream(b"key").permutation(10)
+        )
+
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=30)
+    def test_randrange_uniform_support(self, lo, span):
+        s = DeterministicStream(b"prop")
+        v = s.randrange(lo, lo + span)
+        assert lo <= v < lo + span
+
+
+class TestSystemRandomSource:
+    def test_seeded_is_reproducible(self):
+        a = SystemRandomSource(seed=5)
+        b = SystemRandomSource(seed=5)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_seeded_flag(self):
+        assert SystemRandomSource(seed=1).is_seeded
+        assert not SystemRandomSource().is_seeded
+
+    def test_randbytes_length(self):
+        assert len(SystemRandomSource(seed=1).randbytes(33)) == 33
+
+    def test_randbytes_zero(self):
+        assert SystemRandomSource(seed=1).randbytes(0) == b""
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            SystemRandomSource(seed=1).choice([])
+
+    def test_sample(self):
+        out = SystemRandomSource(seed=1).sample(range(100), 10)
+        assert len(set(out)) == 10

@@ -1,0 +1,85 @@
+"""Tests for repro.utils.stats (paper Eq. 1 and Definition 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.stats import (
+    empirical_entropy,
+    entropy_from_counts,
+    entropy_from_probs,
+    landmark_values,
+    perfect_entropy,
+    value_frequencies,
+)
+
+
+class TestEntropy:
+    def test_uniform_two_values_is_one_bit(self):
+        assert entropy_from_counts({"a": 5, "b": 5}) == pytest.approx(1.0)
+
+    def test_deterministic_is_zero(self):
+        assert entropy_from_counts({"a": 10}) == pytest.approx(0.0)
+
+    def test_uniform_n_values(self):
+        counts = {i: 3 for i in range(16)}
+        assert entropy_from_counts(counts) == pytest.approx(4.0)
+
+    def test_matches_probs_form(self):
+        counts = {0: 30, 1: 40, 2: 20, 3: 10}
+        assert entropy_from_counts(counts) == pytest.approx(
+            entropy_from_probs([0.3, 0.4, 0.2, 0.1])
+        )
+
+    def test_empirical_entropy(self):
+        assert empirical_entropy("aabb") == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy_from_counts({})
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy_from_counts({"a": -1, "b": 2})
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            entropy_from_probs([0.5, 0.4])
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=20)
+    )
+    def test_entropy_bounds(self, counts_list):
+        counts = {i: c for i, c in enumerate(counts_list)}
+        h = entropy_from_counts(counts)
+        assert -1e-9 <= h <= math.log2(len(counts)) + 1e-9
+
+    def test_perfect_entropy_is_identity(self):
+        assert perfect_entropy(64) == 64.0
+        assert perfect_entropy(0) == 0.0
+
+
+class TestLandmarks:
+    def test_detects_dominant_value(self):
+        counts = {"x": 90, "y": 5, "z": 5}
+        found = landmark_values(counts, 0.6)
+        assert found == [("x", 0.9)]
+
+    def test_threshold_is_strict(self):
+        counts = {"x": 60, "y": 40}
+        assert landmark_values(counts, 0.6) == []
+
+    def test_sorted_by_probability(self):
+        # only possible with tau < 0.5 to have two landmarks
+        counts = {"a": 45, "b": 40, "c": 15}
+        found = landmark_values(counts, 0.3)
+        assert [v for v, _ in found] == ["a", "b"]
+
+    def test_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            landmark_values({"a": 1}, 1.5)
+
+    def test_value_frequencies(self):
+        assert value_frequencies([1, 1, 2]) == {1: 2, 2: 1}

@@ -1,0 +1,96 @@
+"""Tests for the ZLL13 sealed-bottle baseline."""
+
+import pytest
+
+from repro.baselines.zll13 import (
+    Zll13Initiator,
+    Zll13Responder,
+    run_pairwise,
+)
+from repro.errors import ParameterError
+from repro.utils.rand import SystemRandomSource
+
+
+@pytest.fixture
+def prng():
+    return SystemRandomSource(seed=601)
+
+
+class TestProtocol:
+    def test_identical_profiles_full_score(self, prng):
+        score, _ = run_pairwise([3, 5, 7, 9], [3, 5, 7, 9], rng=prng)
+        assert score == 4
+
+    def test_partial_overlap_counts_equal_attributes(self, prng):
+        score, _ = run_pairwise([3, 5, 7, 9], [3, 5, 0, 0], rng=prng)
+        assert score == 2
+
+    def test_disjoint_profiles_score_zero(self, prng):
+        score, _ = run_pairwise([1, 2], [3, 4], rng=prng)
+        assert score == 0
+
+    def test_not_fuzzy(self, prng):
+        """A one-off value does not open the bottle (Table I: no fuzz)."""
+        score_exact, _ = run_pairwise([100, 200], [100, 200], rng=prng)
+        score_near, _ = run_pairwise([100, 200], [100, 201], rng=prng)
+        assert score_exact == 2
+        assert score_near == 1
+
+    def test_fine_grained(self, prng):
+        """Value-level comparison: different values at the same attribute
+        are distinguished (unlike attribute-level PSI)."""
+        score_same, _ = run_pairwise([7], [7], rng=prng)
+        score_diff, _ = run_pairwise([7], [8], rng=prng)
+        assert score_same == 1 and score_diff == 0
+
+    def test_position_binding(self, prng):
+        """Equal values at different attribute positions do not match."""
+        score, _ = run_pairwise([1, 2], [2, 1], rng=prng)
+        assert score == 0
+
+
+class TestVerifiability:
+    def test_forged_witnesses_score_zero(self, prng):
+        initiator = Zll13Initiator([1, 2, 3], rng=prng)
+        initiator.seal()
+        forged = {i: prng.randbytes(16) for i in range(3)}
+        assert initiator.verify_response(forged) == 0
+
+    def test_replayed_witness_wrong_position_rejected(self, prng):
+        initiator = Zll13Initiator([9, 9], rng=prng)
+        challenge = initiator.seal()
+        responder = Zll13Responder([9, 0])  # opens only bottle 0
+        claims = responder.open_bottles(challenge)
+        assert set(claims) == {0}
+        # replay bottle 0's witness as a claim for bottle 1
+        cheat = {0: claims[0], 1: claims[0]}
+        assert initiator.verify_response(cheat) == 1
+
+    def test_verify_requires_seal_first(self, prng):
+        initiator = Zll13Initiator([1], rng=prng)
+        with pytest.raises(ParameterError):
+            initiator.verify_response({0: b"x" * 16})
+
+    def test_responder_cannot_open_without_value(self, prng):
+        initiator = Zll13Initiator([42], rng=prng)
+        challenge = initiator.seal()
+        for wrong in (0, 41, 43, 1000):
+            responder = Zll13Responder([wrong])
+            assert responder.open_bottles(challenge) == {}
+
+
+class TestWireAccounting:
+    def test_challenge_size_linear_in_d(self, prng):
+        small = Zll13Initiator([1] * 2, rng=prng).seal()
+        large = Zll13Initiator([1] * 8, rng=prng).seal()
+        assert large.wire_bits == 4 * small.wire_bits
+
+    def test_response_size(self, prng):
+        claims = {0: b"w" * 16, 3: b"v" * 16}
+        assert Zll13Responder.response_wire_bits(claims) == 2 * (32 + 128)
+
+    def test_empty_profile_rejected(self, prng):
+        with pytest.raises(ParameterError):
+            Zll13Initiator([], rng=prng)
+        with pytest.raises(ParameterError):
+            Zll13Responder([])

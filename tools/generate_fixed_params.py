@@ -1,0 +1,57 @@
+"""Generate the fixed crypto parameters embedded in repro.crypto.fixed_params.
+
+Run offline once; output is written to src/repro/crypto/fixed_params.py.
+"""
+import sys, time
+from repro.ntheory.primes import generate_prime, generate_safe_prime
+from repro.utils.rand import SystemRandomSource
+
+rng = SystemRandomSource(seed=20260705)
+
+paillier_sizes = [256, 384, 640, 1152, 2176, 4224]
+rsa_sizes = [512, 1024, 2048]
+safe_sizes = [512]
+
+out = ['"""Precomputed prime parameters for tests and benchmarks.',
+       '',
+       'Generated once by tools/generate_fixed_params.py (seeded, reproducible).',
+       'These are fixtures: deployments must generate fresh keys with',
+       'PaillierKeyPair.generate / RSAKeyPair.generate / SchnorrGroup.generate.',
+       '"""',
+       '']
+out.append("PAILLIER_PRIMES = {")
+for bits in paillier_sizes:
+    t = time.time()
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p != q and (p * q).bit_length() == bits:
+            break
+    out.append(f"    {bits}: ({p}, {q}),")
+    print(f"paillier {bits}: {time.time()-t:.1f}s", file=sys.stderr, flush=True)
+out.append("}")
+out.append("")
+out.append("RSA_PRIMES = {")
+for bits in rsa_sizes:
+    t = time.time()
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p != q and (p * q).bit_length() == bits:
+            break
+    out.append(f"    {bits}: ({p}, {q}),")
+    print(f"rsa {bits}: {time.time()-t:.1f}s", file=sys.stderr, flush=True)
+out.append("}")
+out.append("")
+out.append("SAFE_PRIMES = {")
+for bits in safe_sizes:
+    t = time.time()
+    p = generate_safe_prime(bits, rng)
+    out.append(f"    {bits}: {p},")
+    print(f"safe {bits}: {time.time()-t:.1f}s", file=sys.stderr, flush=True)
+out.append("}")
+out.append("")
+
+with open("/root/repo/src/repro/crypto/fixed_params.py", "w") as f:
+    f.write("\n".join(out))
+print("done", file=sys.stderr)
