@@ -15,7 +15,7 @@ group from the server, and decrypts it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 from repro.core.keygen import ProfileKey
 from repro.core.scheme import EncryptedProfile

@@ -16,12 +16,12 @@ experiment exercise exactly those boundaries.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.kdf import hkdf, prf, sha256
-from repro.errors import ParameterError
+from repro.errors import CryptoError, ParameterError
 from repro.ntheory.groups import SchnorrGroup
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["BloomFilter", "Ncd13Party", "run_common_attributes"]
@@ -179,7 +179,8 @@ def run_common_attributes(
     b = Ncd13Party(values_b, rng=rng)
     key_a = a.session_key(b.dh_public())
     key_b = b.session_key(a.dh_public())
-    assert key_a == key_b  # DH agreement
+    if not constant_time_eq(key_a, key_b):
+        raise CryptoError("DH key agreement failed: parties derived different keys")
     filter_b = b.build_filter(key_b)
     common = a.count_common(key_a, filter_b)
     wire = 2 * a.group.element_size * 8 + filter_b.wire_bits

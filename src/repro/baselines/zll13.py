@@ -28,11 +28,12 @@ scaling experiment (`repro.experiments.scaling`) measures against S-MATCH.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.crypto.kdf import hkdf, sha256
 from repro.crypto.modes import AeadCiphertext, EtMCipher
 from repro.errors import IntegrityError, ParameterError
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["Bottle", "SealedProfile", "Zll13Initiator", "Zll13Responder"]
@@ -115,7 +116,10 @@ class Zll13Initiator:
             raise ParameterError("seal() must run before verification")
         score = 0
         for index, witness in claims.items():
-            if self._witnesses.get(index) == witness:
+            sealed_witness = self._witnesses.get(index)
+            if sealed_witness is not None and constant_time_eq(
+                sealed_witness, witness
+            ):
                 score += 1
         return score
 
@@ -145,7 +149,7 @@ class Zll13Responder:
                 payload[:_WITNESS_BYTES],
                 payload[_WITNESS_BYTES:],
             )
-            if sha256(b"zll13-witness", witness) == digest:
+            if constant_time_eq(sha256(b"zll13-witness", witness), digest):
                 claims[bottle.attr_index] = witness
         return claims
 

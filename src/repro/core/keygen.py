@@ -28,13 +28,14 @@ from repro.crypto.kdf import hkdf, sha256
 from repro.crypto.oprf import RsaOprfClient, RsaOprfServer
 from repro.errors import ParameterError
 from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
+from repro.utils.ct import constant_time_eq
 from repro.utils.instrument import count_op
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["ProfileKey", "ProfileKeygen"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ProfileKey:
     """A derived profile key and its public server-side index."""
 
@@ -44,6 +45,21 @@ class ProfileKey:
     def __post_init__(self) -> None:
         if len(self.key) != 32 or len(self.index) != 32:
             raise ParameterError("profile key and index must be 32 bytes")
+
+    def __eq__(self, other: object) -> bool:
+        # value equality, but without the dataclass-generated short-circuit
+        # bytes compare: the key is secret material (bitwise & so both
+        # field comparisons run regardless of the first outcome)
+        if not isinstance(other, ProfileKey):
+            return NotImplemented
+        return constant_time_eq(self.key, other.key) & constant_time_eq(
+            self.index, other.index
+        )
+
+    def __hash__(self) -> int:
+        # hash only the public index: equal keys hash equal, and nothing
+        # secret feeds Python's (non-constant-time) hash machinery
+        return hash((ProfileKey, self.index))
 
     def subkey(self, purpose: bytes) -> bytes:
         """Derive an independent purpose-bound key (OPE, AES, chaining)."""

@@ -22,7 +22,7 @@ all users within a score radius.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.errors import MatchingError, ParameterError
 from repro.utils.instrument import count_op

@@ -48,11 +48,15 @@ def _build_sbox() -> bytes:
     return bytes(sbox)
 
 
+def _invert_sbox(sbox: bytes) -> bytes:
+    inverse = bytearray(256)
+    for index, value in enumerate(sbox):
+        inverse[value] = index
+    return bytes(inverse)
+
+
 _SBOX = _build_sbox()
-_INV_SBOX = bytearray(256)
-for _i, _v in enumerate(_SBOX):
-    _INV_SBOX[_v] = _i
-_INV_SBOX = bytes(_INV_SBOX)
+_INV_SBOX = _invert_sbox(_SBOX)
 
 _RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
 

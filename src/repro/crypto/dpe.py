@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.crypto.kdf import hkdf
 from repro.errors import CiphertextError, KeyError_, ParameterError
+from repro.utils.ct import constant_time_eq
 
 __all__ = ["DPE", "DpeParams"]
 
@@ -52,7 +53,7 @@ class DPE:
         a_bytes = hkdf(key, info=b"dpe-scale", length=(params.scale_bits + 7) // 8)
         b_bytes = hkdf(key, info=b"dpe-offset", length=(params.offset_bits + 7) // 8 or 1)
         self._a = (int.from_bytes(a_bytes, "big") | 1) % (1 << params.scale_bits)
-        if self._a == 0:
+        if constant_time_eq(self._a, 0):  # defensive; `| 1` keeps a odd
             self._a = 1
         self._b = int.from_bytes(b_bytes, "big") % (1 << max(1, params.offset_bits))
 

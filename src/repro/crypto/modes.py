@@ -17,6 +17,7 @@ from repro.crypto.aes import AES
 from repro.crypto.kdf import hkdf
 from repro.errors import IntegrityError, ParameterError
 from repro.utils.bits import xor_bytes
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["ctr_keystream", "ctr_xcrypt", "AeadCiphertext", "EtMCipher"]
@@ -100,7 +101,7 @@ class EtMCipher:
 
     def open(self, ciphertext: AeadCiphertext, aad: bytes = b"") -> bytes:
         """Verify the tag then decrypt; raises :class:`IntegrityError`."""
-        expected = self._tag(ciphertext.iv, aad, ciphertext.body)
-        if not hmac.compare_digest(expected, ciphertext.tag):
+        expected_tag = self._tag(ciphertext.iv, aad, ciphertext.body)
+        if not constant_time_eq(expected_tag, ciphertext.tag):
             raise IntegrityError("MAC verification failed")
         return ctr_xcrypt(self._aes, ciphertext.iv, ciphertext.body)

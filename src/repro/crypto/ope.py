@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.errors import CiphertextError, KeyError_, ParameterError
 from repro.utils.instrument import count_op

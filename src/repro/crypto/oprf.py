@@ -25,6 +25,7 @@ from repro.crypto.kdf import hash_to_range, sha256
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
 from repro.errors import CryptoError, ParameterError
 from repro.ntheory.modular import modexp, modinv
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["RsaOprfServer", "RsaOprfClient", "BlindingState"]
@@ -102,7 +103,9 @@ class RsaOprfClient:
         n = self.public_key.n
         if not 0 <= response < n:
             raise ParameterError("OPRF response out of range")
-        if modexp(response, self.public_key.e, n) != state.blinded % n:
+        if not constant_time_eq(
+            modexp(response, self.public_key.e, n), state.blinded % n
+        ):
             raise CryptoError("OPRF server response failed verification")
         unblinded = response * state.unblinder % n
         width = (n.bit_length() + 7) // 8

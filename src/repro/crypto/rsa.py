@@ -14,6 +14,7 @@ from typing import Optional
 from repro.errors import CiphertextError, ParameterError
 from repro.ntheory.modular import modexp, modinv
 from repro.ntheory.primes import generate_prime
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["RSAPublicKey", "RSAKeyPair"]
@@ -67,7 +68,7 @@ class RSAKeyPair:
         while True:
             p = generate_prime(bits // 2, rng)
             q = generate_prime(bits - bits // 2, rng)
-            if p == q:
+            if constant_time_eq(p, q):
                 continue
             phi = (p - 1) * (q - 1)
             try:
@@ -84,7 +85,7 @@ class RSAKeyPair:
         cls, p: int, q: int, e: int = 65537
     ) -> "RSAKeyPair":
         """Build a key pair from two known primes (fixture/bench support)."""
-        if p == q:
+        if constant_time_eq(p, q):
             raise ParameterError("RSA primes must differ")
         d = modinv(e, (p - 1) * (q - 1))
         return cls(public=RSAPublicKey(n=p * q, e=e), d=d, p=p, q=q)

@@ -18,7 +18,6 @@ Table II's entropy statistics *by construction*, not by luck of sampling.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
-from repro.core.profile import Profile, ProfileSchema
+from repro.core.profile import ProfileSchema
 from repro.core.scheme import SMatch, SMatchParams
 from repro.crypto.fixtures import fixed_rsa_keypair
 from repro.crypto.oprf import RsaOprfServer

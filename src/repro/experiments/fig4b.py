@@ -16,7 +16,7 @@ per query (the standard retrieval-aware TPR).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.core.profile import profile_distance
 from repro.datasets import INFOCOM06, SIGCOMM09, WEIBO

@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro.baselines.zll13 import run_pairwise
 from repro.datasets import INFOCOM06
-from repro.experiments.common import ExperimentResult, build_population, build_scheme
+from repro.experiments.common import ExperimentResult, build_population
 from repro.experiments.fig5def import comm_costs_bits
 from repro.utils.rand import SystemRandomSource
 

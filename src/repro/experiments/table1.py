@@ -91,7 +91,7 @@ def demonstrate_capabilities(seed: int = 11) -> Dict[str, bool]:
     checks["psi_not_fine_grained"] = score_mid == score_far
 
     # ZLL13: verifiable (forged claims score zero) but not fuzzy
-    from repro.baselines.zll13 import Zll13Initiator, Zll13Responder, run_pairwise
+    from repro.baselines.zll13 import Zll13Initiator, run_pairwise
 
     exact_score, _ = run_pairwise([5, 9, 12], [5, 9, 12], rng=rng)
     near_score, _ = run_pairwise([5, 9, 12], [5, 9, 13], rng=rng)

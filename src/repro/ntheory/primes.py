@@ -9,6 +9,7 @@ inputs.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.errors import ParameterError
@@ -26,7 +27,7 @@ __all__ = [
 def _sieve(limit: int) -> list:
     flags = bytearray([1]) * (limit + 1)
     flags[0] = flags[1] = 0
-    for i in range(2, int(limit**0.5) + 1):
+    for i in range(2, math.isqrt(limit) + 1):
         if flags[i]:
             flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
     return [i for i, f in enumerate(flags) if f]

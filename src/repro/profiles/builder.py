@@ -8,7 +8,7 @@ user's raw inputs — category labels, coordinates, post texts — into a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.core.profile import AttributeSpec, Profile, ProfileSchema
 from repro.errors import ParameterError

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.core.verification import AuthInfo
 from repro.crypto.modes import AeadCiphertext
+from repro.errors import MatchingError
 from repro.net.messages import QueryRequest, QueryResult, ResultEntry
 from repro.server.service import SMatchServer
 from repro.utils.rand import SystemRandomSource
@@ -93,8 +94,8 @@ class MaliciousServer(SMatchServer):
         """Present users from foreign key groups as matches."""
         try:
             my_index = self.store.get(request.user_id).key_index
-        except Exception:
-            my_index = b""
+        except MatchingError:
+            my_index = b""  # unknown querier: every group is foreign
         outsiders = [
             payload
             for uid, payload in self.store.all_profiles().items()

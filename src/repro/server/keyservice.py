@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.crypto.oprf import RsaOprfServer
-from repro.errors import ProtocolError
+from repro.errors import ParameterError, ProtocolError
 from repro.net.messages import Message
 from repro.net.oprf_messages import (
     OprfKeyInfo,
@@ -95,7 +95,12 @@ class KeyGenService:
             )
         if isinstance(message, OprfRequest):
             self._check_budget(client, now)
-            evaluated = self.oprf.evaluate_blinded(message.blinded)
+            try:
+                evaluated = self.oprf.evaluate_blinded(message.blinded)
+            except ParameterError as exc:
+                # crypto-layer range failure becomes a wire-protocol error:
+                # the client sent a blinded value outside [0, N)
+                raise ProtocolError(f"invalid OPRF request: {exc}") from exc
             self.evaluations_served += 1
             return OprfResponse(
                 request_id=message.request_id, evaluated=evaluated

@@ -15,7 +15,7 @@ paper's Section VII-C quotes.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.matching import score_table
 from repro.core.scheme import EncryptedProfile

@@ -17,6 +17,7 @@ from repro.crypto.kdf import sha256
 from repro.errors import ProtocolError
 from repro.net.messages import UploadMessage, decode_message
 from repro.server.storage import ProfileStore
+from repro.utils.ct import constant_time_eq
 from repro.utils.serial import FieldReader, FieldWriter
 
 __all__ = ["save_store", "load_store"]
@@ -53,7 +54,7 @@ def load_store_bytes(raw: bytes) -> ProfileStore:
     digest = reader.read_bytes()
     payload = reader.read_bytes()
     reader.expect_end()
-    if sha256(b"store-digest", payload) != digest:
+    if not constant_time_eq(sha256(b"store-digest", payload), digest):
         raise ProtocolError("store digest mismatch: file corrupted")
 
     body = FieldReader(payload)

@@ -13,7 +13,7 @@ key.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.core.scheme import EncryptedProfile
 from repro.errors import MatchingError, ParameterError

@@ -21,8 +21,8 @@ rather than forgery).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.profile import Profile, profile_distance
 from repro.core.scheme import SMatch

@@ -1,5 +1,6 @@
-"""Shared utilities: bit packing, deterministic randomness, statistics,
-wire serialization, and operation-count instrumentation."""
+"""Shared utilities: bit packing, deterministic randomness, constant-time
+comparison, statistics, wire serialization, and operation-count
+instrumentation."""
 
 from repro.utils.bits import (
     bit_length_ceil,
@@ -8,6 +9,7 @@ from repro.utils.bits import (
     pack_blocks,
     unpack_blocks,
 )
+from repro.utils.ct import constant_time_eq
 from repro.utils.rand import DeterministicStream, SystemRandomSource
 from repro.utils.stats import (
     empirical_entropy,
@@ -22,6 +24,7 @@ __all__ = [
     "int_to_bytes",
     "pack_blocks",
     "unpack_blocks",
+    "constant_time_eq",
     "DeterministicStream",
     "SystemRandomSource",
     "empirical_entropy",

@@ -1,0 +1,69 @@
+"""Constant-time comparisons for secret values.
+
+Python's ``==`` on ``bytes``/``int`` short-circuits at the first differing
+byte or limb, so comparing MAC tags, profile keys, witnesses, or OPRF
+outputs with it leaks how much of the secret an attacker has guessed — the
+classic byte-at-a-time forgery oracle.  Every equality check on
+secret-typed values in this codebase goes through
+:func:`constant_time_eq`; the ``smatch-lint`` rule SML002 enforces it.
+
+Integer key material (RSA primes, group exponents, blinded values) is
+compared by encoding both operands big-endian at one shared fixed width, so
+the underlying ``hmac.compare_digest`` sees equal-length buffers and its
+constant-time guarantee applies.
+"""
+
+from __future__ import annotations
+
+from hmac import compare_digest
+from typing import Union
+
+from repro.errors import ParameterError
+
+__all__ = ["constant_time_eq"]
+
+_BytesLike = (bytes, bytearray, memoryview)
+
+Comparable = Union[bytes, bytearray, memoryview, int, str]
+
+
+def _int_width(value: int) -> int:
+    """Byte width needed to hold ``value`` (at least one byte)."""
+    return max(1, (value.bit_length() + 7) // 8)
+
+
+def constant_time_eq(a: Comparable, b: Comparable) -> bool:
+    """Compare two secrets without leaking where they differ.
+
+    Supported operand kinds (both sides must be the same kind):
+
+    * bytes-like (``bytes``/``bytearray``/``memoryview``) — compared
+      directly with :func:`hmac.compare_digest`;
+    * ``int`` — non-negative only; both operands are encoded big-endian at
+      the wider operand's width before comparison (the width depends only
+      on magnitudes the caller already holds, not on the comparison
+      outcome);
+    * ``str`` — UTF-8 encoded, then compared as bytes.
+
+    Mixing kinds raises :class:`~repro.errors.ParameterError`: a
+    bytes-vs-int comparison in crypto code is a bug, not a falsy answer.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        raise ParameterError("constant_time_eq compares secrets, not booleans")
+    if isinstance(a, _BytesLike) and isinstance(b, _BytesLike):
+        return compare_digest(bytes(a), bytes(b))
+    if isinstance(a, int) and isinstance(b, int):
+        if a < 0 or b < 0:
+            raise ParameterError(
+                "constant_time_eq only compares non-negative integers"
+            )
+        width = max(_int_width(a), _int_width(b))
+        return compare_digest(
+            a.to_bytes(width, "big"), b.to_bytes(width, "big")
+        )
+    if isinstance(a, str) and isinstance(b, str):
+        return compare_digest(a.encode("utf-8"), b.encode("utf-8"))
+    raise ParameterError(
+        "constant_time_eq operands must both be bytes-like, both int, or "
+        f"both str; got {type(a).__name__} and {type(b).__name__}"
+    )

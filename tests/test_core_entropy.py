@@ -3,7 +3,6 @@
 import math
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.entropy import AttributeMapping, BigJumpMapper
 from repro.core.profile import ProfileSchema

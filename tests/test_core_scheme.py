@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.profile import Profile
 from repro.core.scheme import EncryptedProfile, SMatchParams
 from repro.errors import ParameterError
 

@@ -1,6 +1,5 @@
 """Additional crypto vectors and cross-cutting invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.aes import AES

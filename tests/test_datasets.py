@@ -111,7 +111,6 @@ class TestClusteredPopulation:
             assert len(variants) == 1  # deterministic center per categorical
 
     def test_cluster_cap_respected(self, pop):
-        from collections import Counter
 
         users = pop.generate(60, max_cluster_size=4)
         # contiguous runs share categorical; count run lengths

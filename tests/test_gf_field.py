@@ -1,7 +1,7 @@
 """Tests for GF(2^m) arithmetic, including hypothesis-checked field axioms."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.errors import ParameterError
 from repro.gf.field import GF1024, GF2m

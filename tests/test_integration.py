@@ -8,7 +8,6 @@ end-to-end security and correctness properties the paper claims.
 import pytest
 
 from repro.client.client import MobileClient
-from repro.core.profile import profile_distance
 from repro.datasets import INFOCOM06, ClusteredPopulation
 from repro.experiments.common import build_scheme
 from repro.net.channel import SecureChannel

@@ -1,6 +1,5 @@
 """Reed-Solomon at the paper's field size: GF(2^10), n up to 1023."""
 
-import pytest
 
 from repro.gf.field import GF1024
 from repro.rs.code import RSCode

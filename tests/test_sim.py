@@ -1,6 +1,5 @@
 """Tests for the mobile-service lifecycle simulation."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,307 @@
+"""Tests for the smatch-lint static analyzer (tools/smatch_lint).
+
+Each rule gets three fixtures: a positive hit, a clean pass, and a
+suppressed hit.  On top sit CLI-level tests (text/JSON formats, exit
+codes, seeded-violation detection) and the gate that matters most: the
+live ``src/`` tree must be violation-free.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.smatch_lint.cli import main
+from tools.smatch_lint.engine import lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CRYPTO_PATH = "src/repro/crypto/widget.py"
+CORE_PATH = "src/repro/core/widget.py"
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def check(source: str, path: str = CORE_PATH):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestSml001RandomImports:
+    def test_import_random_flagged(self):
+        found = check("import random\n")
+        assert codes(found) == ["SML001"]
+        assert "repro.utils.rand" in found[0].message
+
+    def test_from_random_flagged(self):
+        assert codes(check("from random import shuffle\n")) == ["SML001"]
+
+    def test_aliased_import_flagged(self):
+        assert codes(check("import random as rnd\n")) == ["SML001"]
+
+    def test_facade_module_is_exempt(self):
+        assert check("import random\n", "src/repro/utils/rand.py") == []
+
+    def test_other_imports_clean(self):
+        assert check("import secrets\nimport os\n") == []
+
+    def test_suppression(self):
+        src = "import random  # smatch-lint: disable=SML001\n"
+        assert check(src) == []
+
+
+class TestSml002SecretEquality:
+    def test_secret_name_eq_flagged(self):
+        found = check("def f(key, other):\n    return key == other\n")
+        assert codes(found) == ["SML002"]
+        assert "constant_time_eq" in found[0].message
+
+    def test_attribute_and_noteq_flagged(self):
+        src = """\
+        def f(self, payload):
+            if self._mac_key != payload:
+                return True
+        """
+        assert codes(check(src)) == ["SML002"]
+
+    def test_subscript_unwrapped(self):
+        assert codes(check("def f(tags, x):\n    return tags[0] == x\n")) == [
+            "SML002"
+        ]
+
+    def test_public_override_clean(self):
+        src = """\
+        def f(payload, mine):
+            return payload.key_index == mine or payload.public_key == mine
+        """
+        assert check(src) == []
+
+    def test_length_check_clean(self):
+        assert check("def f(key):\n    return len(key) == 32\n") == []
+
+    def test_is_none_clean(self):
+        assert check("def f(key):\n    return key is None\n") == []
+
+    def test_suppression(self):
+        src = "def f(key, b):\n    return key == b  # smatch-lint: disable=SML002\n"
+        assert check(src) == []
+
+
+class TestSml003FloatArithmetic:
+    def test_float_literal_flagged(self):
+        assert codes(check("x = 0.5\n", CRYPTO_PATH)) == ["SML003"]
+
+    def test_true_division_flagged(self):
+        found = check("def f(a, b):\n    return a / b\n", CRYPTO_PATH)
+        assert codes(found) == ["SML003"]
+        assert found[0].line == 2
+
+    def test_float_call_flagged(self):
+        assert codes(check("def f(x):\n    return float(x)\n", CRYPTO_PATH)) == [
+            "SML003"
+        ]
+
+    def test_aug_div_flagged(self):
+        assert codes(check("def f(x):\n    x /= 2\n", CRYPTO_PATH)) == ["SML003"]
+
+    def test_floor_division_clean(self):
+        assert check("def f(a, b):\n    return a // b\n", CRYPTO_PATH) == []
+
+    def test_ope_allowlisted(self):
+        assert check("x = 0.5\n", "src/repro/crypto/ope.py") == []
+
+    def test_outside_tcb_clean(self):
+        assert check("x = 0.5\n", "src/repro/experiments/widget.py") == []
+
+    def test_suppression(self):
+        src = "x = 1 / 3  # smatch-lint: disable=SML003\n"
+        assert check(src, CRYPTO_PATH) == []
+
+
+class TestSml004ImportLayering:
+    def test_absolute_import_flagged(self):
+        found = check("from repro.server import storage\n", CRYPTO_PATH)
+        assert codes(found) == ["SML004"]
+        assert "repro.server" in found[0].message
+
+    def test_plain_import_flagged(self):
+        assert codes(check("import repro.net.channel\n", CRYPTO_PATH)) == [
+            "SML004"
+        ]
+
+    def test_relative_import_flagged(self):
+        # from crypto/widget.py, `from ..client import x` is repro.client
+        assert codes(check("from ..client import device\n", CRYPTO_PATH)) == [
+            "SML004"
+        ]
+
+    def test_relative_sibling_clean(self):
+        assert check("from .kdf import hkdf\n", CRYPTO_PATH) == []
+
+    def test_utils_import_clean(self):
+        assert check("from repro.utils.ct import constant_time_eq\n", CRYPTO_PATH) == []
+
+    def test_outside_tcb_clean(self):
+        assert check("from repro.server import storage\n", "src/repro/sim/w.py") == []
+
+    def test_suppression_file_wide(self):
+        src = (
+            "# smatch-lint: disable-file=SML004\n"
+            "from repro.server import storage\n"
+        )
+        assert check(src, CRYPTO_PATH) == []
+
+
+class TestSml005ExceptionHygiene:
+    def test_bare_except_flagged(self):
+        src = """\
+        def f():
+            try:
+                g()
+            except:
+                pass
+        """
+        found = check(src)
+        assert codes(found) == ["SML005"]
+        assert "bare" in found[0].message
+
+    def test_swallowed_exception_flagged(self):
+        src = """\
+        def f():
+            try:
+                g()
+            except Exception:
+                pass
+        """
+        assert codes(check(src)) == ["SML005"]
+
+    def test_assert_flagged(self):
+        found = check("def f(x):\n    assert x > 0\n")
+        assert codes(found) == ["SML005"]
+        assert "repro.errors" in found[0].message
+
+    def test_typed_handler_clean(self):
+        src = """\
+        def f():
+            try:
+                g()
+            except ValueError:
+                pass
+        """
+        assert check(src) == []
+
+    def test_broad_handler_with_reraise_clean(self):
+        src = """\
+        def f():
+            try:
+                g()
+            except Exception:
+                raise RuntimeError("wrapped")
+        """
+        assert check(src) == []
+
+    def test_tests_exempt_from_assert_ban(self):
+        assert check("def f(x):\n    assert x\n", "tests/test_widget.py") == []
+
+    def test_suppression(self):
+        src = "def f(x):\n    assert x  # smatch-lint: disable=SML005\n"
+        assert check(src) == []
+
+
+class TestSuppressionDirectives:
+    def test_file_wide_scope(self):
+        src = (
+            "# smatch-lint: disable-file=SML001\n"
+            "import random\n"
+            "import random as r2\n"
+        )
+        assert check(src) == []
+
+    def test_line_scope_does_not_leak(self):
+        src = (
+            "import random  # smatch-lint: disable=SML001\n"
+            "import random as r2\n"
+        )
+        assert codes(check(src)) == ["SML001"]
+
+    def test_multiple_codes_one_directive(self):
+        src = (
+            "def f(key, b):\n"
+            "    assert key == b  # smatch-lint: disable=SML002,SML005\n"
+        )
+        assert check(src) == []
+
+    def test_unknown_code_reported(self):
+        src = "x = 1  # smatch-lint: disable=SML999\n"
+        found = check(src)
+        assert codes(found) == ["SML000"]
+        assert "SML999" in found[0].message
+
+    def test_syntax_error_reported(self):
+        found = check("def f(:\n")
+        assert codes(found) == ["SML000"]
+
+
+class TestLiveTree:
+    def test_src_tree_is_violation_free(self):
+        violations, files_checked = lint_paths([REPO_ROOT / "src"])
+        assert files_checked > 50
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_tools_tree_is_violation_free(self):
+        violations, _ = lint_paths([REPO_ROOT / "tools"])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestCli:
+    @pytest.fixture()
+    def seeded_file(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "crypto" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = 1 / 3\n", encoding="utf-8")
+        return bad
+
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().err
+
+    def test_exit_one_and_precise_report(self, seeded_file, capsys):
+        assert main([str(seeded_file)]) == 1
+        out = capsys.readouterr().out
+        assert f"{seeded_file}:1:1: SML001" in out
+        assert f"{seeded_file}:2:5: SML003" in out
+
+    def test_json_format(self, seeded_file, capsys):
+        assert main(["--format", "json", str(seeded_file)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["files_checked"] == 1
+        assert report["counts"] == {"SML001": 1, "SML003": 1}
+        assert {v["code"] for v in report["violations"]} == {"SML001", "SML003"}
+        assert all(
+            {"path", "line", "col", "message"} <= set(v) for v in report["violations"]
+        )
+
+    def test_select_and_ignore(self, seeded_file):
+        assert main(["--select", "SML001", str(seeded_file)]) == 1
+        assert main(["--ignore", "SML001,SML003", str(seeded_file)]) == 0
+
+    def test_unknown_code_is_usage_error(self, seeded_file):
+        assert main(["--select", "SML9", str(seeded_file)]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "nope.py")]) == 2
+
+    def test_no_paths_is_usage_error(self):
+        assert main([]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SML001", "SML002", "SML003", "SML004", "SML005"):
+            assert code in out

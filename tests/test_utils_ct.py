@@ -1,0 +1,82 @@
+"""Tests for repro.utils.ct.constant_time_eq."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.ct import constant_time_eq
+
+
+class TestBytesComparison:
+    def test_equal(self):
+        assert constant_time_eq(b"\x00" * 32, b"\x00" * 32)
+
+    def test_unequal_same_length(self):
+        assert not constant_time_eq(b"a" * 32, b"a" * 31 + b"b")
+
+    def test_unequal_lengths(self):
+        assert not constant_time_eq(b"abc", b"abcd")
+
+    def test_empty(self):
+        assert constant_time_eq(b"", b"")
+
+    def test_bytearray_and_memoryview(self):
+        assert constant_time_eq(bytearray(b"tag"), b"tag")
+        assert constant_time_eq(memoryview(b"tag"), bytearray(b"tag"))
+
+
+class TestIntComparison:
+    def test_equal(self):
+        assert constant_time_eq(12345, 12345)
+
+    def test_unequal(self):
+        assert not constant_time_eq(12345, 12346)
+
+    def test_zero(self):
+        assert constant_time_eq(0, 0)
+        assert not constant_time_eq(0, 1)
+
+    def test_width_mismatch_handled(self):
+        # operands spanning different byte widths must still compare
+        assert not constant_time_eq(1, 1 << 1024)
+        assert not constant_time_eq(1 << 1024, 1)
+        assert constant_time_eq(1 << 1024, 1 << 1024)
+
+    def test_leading_zero_byte_boundary(self):
+        assert not constant_time_eq(255, 256)
+        assert not constant_time_eq(256, 255)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            constant_time_eq(-1, 1)
+        with pytest.raises(ParameterError):
+            constant_time_eq(1, -1)
+
+
+class TestStrComparison:
+    def test_equal(self):
+        assert constant_time_eq("s-match", "s-match")
+
+    def test_unequal(self):
+        assert not constant_time_eq("s-match", "s-watch")
+
+
+class TestTypeDiscipline:
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ParameterError):
+            constant_time_eq(b"0", 0)
+        with pytest.raises(ParameterError):
+            constant_time_eq("0", b"0")
+        with pytest.raises(ParameterError):
+            constant_time_eq(0, "0")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ParameterError):
+            constant_time_eq(True, 1)
+        with pytest.raises(ParameterError):
+            constant_time_eq(1, False)
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(ParameterError):
+            constant_time_eq([1], [1])

@@ -1,0 +1,1 @@
+"""Repository tooling (fixture generators, the smatch-lint static analyzer)."""

@@ -1,0 +1,42 @@
+"""smatch-lint: crypto-invariant static analysis for the S-MATCH codebase.
+
+The S-MATCH security arguments (PR-KK, PR-OKPA, order-only OPE leakage) are
+protocol-level; they survive implementation only if the code respects a small
+set of invariants the paper assumes implicitly.  This package enforces them
+as AST-based lint rules over ``src/``:
+
+* **SML001** — all randomness flows through the seeded-CSPRNG facade
+  (``repro.utils.rand``); no direct ``random`` imports elsewhere.
+* **SML002** — secret-typed values (key material, OPRF outputs, MAC tags)
+  are never compared with ``==``/``!=``; use
+  :func:`repro.utils.ct.constant_time_eq`.
+* **SML003** — no ``float`` arithmetic inside the exact-arithmetic trusted
+  computing base (``crypto/``, ``gf/``, ``ntheory/``), with an explicit
+  allowlist for the OPE hypergeometric sampler.
+* **SML004** — import layering: the trusted computing base must not import
+  from ``server/``, ``net/``, ``client/``, or ``experiments/``.
+* **SML005** — no bare ``except:``, no swallowed exceptions, and no
+  ``assert`` as runtime validation; raise typed ``repro.errors`` exceptions.
+
+Run it as ``python -m tools.smatch_lint src/``.  Individual findings can be
+suppressed with a trailing ``# smatch-lint: disable=SML00x`` comment; a
+``# smatch-lint: disable-file=SML00x`` comment suppresses a rule for the
+whole file.  See ``docs/STATIC_ANALYSIS.md`` for the policy.
+"""
+
+from __future__ import annotations
+
+from tools.smatch_lint.config import DEFAULT_CONFIG, LintConfig
+from tools.smatch_lint.engine import Violation, lint_paths, lint_source
+from tools.smatch_lint.rules import RULES
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m tools.smatch_lint [paths...]``.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — no violations,
+* ``1`` — at least one violation reported,
+* ``2`` — usage error (missing path, unknown rule code, unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from tools.smatch_lint.config import DEFAULT_CONFIG
+from tools.smatch_lint.engine import lint_paths
+from tools.smatch_lint.rules import RULE_CODES, RULES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.smatch_lint",
+        description="Crypto-invariant static analysis for the S-MATCH repo.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule inventory and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: str) -> List[str]:
+    codes = [c.strip().upper() for c in raw.split(",") if c.strip()]
+    unknown = [c for c in codes if c not in RULE_CODES]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(RULE_CODES)})"
+        )
+    return codes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary()}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: at least one path is required", file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such file or directory: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        selected = set(_parse_codes(args.select)) if args.select else set(RULE_CODES)
+        ignored = set(_parse_codes(args.ignore)) if args.ignore else set()
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    active = (selected - ignored) | {"SML000"}  # SML000 findings always surface
+
+    violations, files_checked = lint_paths(args.paths, DEFAULT_CONFIG)
+    violations = [v for v in violations if v.code in active]
+    counts = Counter(v.code for v in violations)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "violations": [v.as_dict() for v in violations],
+                    "counts": dict(sorted(counts.items())),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            by_code = ", ".join(f"{code}×{n}" for code, n in sorted(counts.items()))
+            print(
+                f"smatch-lint: {len(violations)} violation(s) in "
+                f"{files_checked} file(s) [{by_code}]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"smatch-lint: {files_checked} file(s) clean", file=sys.stderr
+            )
+    return 1 if violations else 0

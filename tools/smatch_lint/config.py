@@ -1,0 +1,100 @@
+"""Lint configuration: the repo-specific knobs every rule reads.
+
+The defaults encode this repository's layout and threat model.  Tests (and
+any future monorepo split) can construct a :class:`LintConfig` with different
+values; the CLI always uses :data:`DEFAULT_CONFIG`.
+
+All path entries are POSIX-style *suffixes* matched against the linted
+file's normalized path, so the tool behaves identically whether invoked as
+``python -m tools.smatch_lint src/`` or pointed at a single file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Pattern, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+
+#: Identifier fragments that mark a value as secret for SML002.  Matched
+#: case-insensitively against whole underscore-delimited name segments, so
+#: ``session_key`` and ``mac_key`` hit but ``monkeypatch`` does not.
+_SECRET_NAME_RE = re.compile(
+    r"(?:^|_)(?:key|keys|secret|secrets|tag|tags|mac|digest|digests"
+    r"|token|tokens|witness|witnesses|unblinder|kup|k_prime|oprf_output)"
+    r"(?:_|$)",
+    re.IGNORECASE,
+)
+
+#: Identifier fragments that mark a name as *public* even when it also
+#: matches the secret pattern: ``key_index`` (the published h(Kup)),
+#: ``public_key``, ``key_size`` and friends are not secret material.
+_PUBLIC_NAME_RE = re.compile(
+    r"(?:^|_)(?:public|pub|index|indexes|indices|size|sizes|len|length"
+    r"|bits|bit|id|ids|idx|kind|name|names|type|count|info|schema)"
+    r"(?:_|$)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable parameters for all smatch-lint rules."""
+
+    #: SML001 — the only module allowed to import :mod:`random` (the
+    #: seeded-CSPRNG facade everything else must go through).
+    rand_facade_suffixes: Tuple[str, ...] = ("repro/utils/rand.py",)
+
+    #: SML002 — name heuristics for secret / explicitly-public identifiers.
+    secret_name_re: Pattern[str] = field(default=_SECRET_NAME_RE)
+    public_name_re: Pattern[str] = field(default=_PUBLIC_NAME_RE)
+
+    #: SML003 / SML004 — directories forming the exact-arithmetic trusted
+    #: computing base, as path fragments.
+    tcb_dir_fragments: Tuple[str, ...] = (
+        "repro/crypto/",
+        "repro/gf/",
+        "repro/ntheory/",
+    )
+
+    #: SML003 — TCB files allowed to use floats (the OPE hypergeometric
+    #: sampler needs log-gamma arithmetic; its outputs are re-quantized).
+    float_allowlist_suffixes: Tuple[str, ...] = ("repro/crypto/ope.py",)
+
+    #: SML004 — packages the TCB must never import (untrusted / IO layers).
+    forbidden_layer_packages: Tuple[str, ...] = (
+        "repro.server",
+        "repro.net",
+        "repro.client",
+        "repro.experiments",
+    )
+
+    #: SML005 — paths exempt from the assert ban (test code asserts freely).
+    assert_exempt_fragments: Tuple[str, ...] = ("tests/", "conftest.py")
+
+    def is_rand_facade(self, posix_path: str) -> bool:
+        """True when ``posix_path`` is the randomness facade module."""
+        return posix_path.endswith(self.rand_facade_suffixes)
+
+    def is_tcb_path(self, posix_path: str) -> bool:
+        """True when the file belongs to the trusted computing base."""
+        return any(frag in posix_path for frag in self.tcb_dir_fragments)
+
+    def is_float_allowlisted(self, posix_path: str) -> bool:
+        """True when the TCB file may use float arithmetic."""
+        return posix_path.endswith(self.float_allowlist_suffixes)
+
+    def is_assert_exempt(self, posix_path: str) -> bool:
+        """True when the assert ban does not apply (test code)."""
+        return any(frag in posix_path for frag in self.assert_exempt_fragments)
+
+    def is_secret_name(self, identifier: str) -> bool:
+        """Apply the SML002 heuristic to a bare identifier."""
+        if self.public_name_re.search(identifier):
+            return False
+        return bool(self.secret_name_re.search(identifier))
+
+
+DEFAULT_CONFIG = LintConfig()

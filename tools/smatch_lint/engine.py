@@ -1,0 +1,171 @@
+"""Lint engine: file discovery, suppression parsing, rule dispatch.
+
+Suppression syntax (mirrors the familiar ``# noqa`` shape but named, so a
+grep for ``smatch-lint:`` audits every waiver):
+
+* ``some_code()  # smatch-lint: disable=SML002`` — suppress the listed
+  rule(s) on that line only; comma-separate multiple codes.
+* ``# smatch-lint: disable-file=SML003`` — anywhere in a file, suppress the
+  rule(s) for the whole file.
+
+Directives naming unknown rule codes are themselves reported (as
+``SML000``), so typos cannot silently waive nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from tools.smatch_lint.config import DEFAULT_CONFIG, LintConfig
+from tools.smatch_lint.rules import RULE_CODES, RULES, RuleContext
+
+__all__ = ["Violation", "lint_source", "lint_paths", "iter_python_files"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*smatch-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col: code message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical single-line report format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, Set[str]], Set[str], List[Violation]]:
+    """Extract per-line and file-wide suppressions from comments."""
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    problems: List[Violation] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, file_wide, problems  # ast.parse reports the real error
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(tok.string)
+        if not match:
+            continue
+        codes = {c.strip().upper() for c in match.group("codes").split(",") if c.strip()}
+        unknown = codes - set(RULE_CODES)
+        if unknown:
+            problems.append(
+                Violation(
+                    path=path,
+                    line=tok.start[0],
+                    col=tok.start[1] + 1,
+                    code="SML000",
+                    message=(
+                        "suppression names unknown rule(s) "
+                        f"{', '.join(sorted(unknown))} — nothing is waived"
+                    ),
+                )
+            )
+        known = codes & set(RULE_CODES)
+        if match.group("scope"):
+            file_wide |= known
+        else:
+            per_line.setdefault(tok.start[0], set()).update(known)
+    return per_line, file_wide, problems
+
+
+def lint_source(
+    source: str, path: str, config: LintConfig = DEFAULT_CONFIG
+) -> List[Violation]:
+    """Lint one source string as if it lived at ``path``.
+
+    ``path`` is normalized to POSIX form; rules use it for their
+    path-scoped behavior (facade allowlists, TCB membership, ...).
+    """
+    posix = path.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=posix,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code="SML000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    per_line, file_wide, violations = _parse_suppressions(source, posix)
+    ctx = RuleContext(path=posix, config=config)
+    for rule_cls in RULES:
+        rule = rule_cls()
+        if rule.code in file_wide:
+            continue
+        for line, col, message in rule.check(tree, ctx):
+            if rule.code in per_line.get(line, ()):
+                continue
+            violations.append(
+                Violation(path=posix, line=line, col=col, code=rule.code, message=message)
+            )
+    return sorted(violations)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            found.add(path)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Iterable[Path], config: LintConfig = DEFAULT_CONFIG
+) -> Tuple[List[Violation], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(violations, files_checked)``.  Paths are reported relative
+    to the current working directory when possible (matching how the CLI
+    is normally invoked from the repo root).
+    """
+    violations: List[Violation] = []
+    files = iter_python_files(paths)
+    cwd = Path.cwd()
+    for file_path in files:
+        try:
+            rel = file_path.resolve().relative_to(cwd)
+        except ValueError:
+            rel = file_path
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, rel.as_posix(), config))
+    return sorted(violations), len(files)

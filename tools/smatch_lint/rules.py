@@ -1,0 +1,300 @@
+"""The five smatch-lint rules.
+
+Each rule is a class with a ``code``, a one-line summary (the first docstring
+line, shown by ``--list-rules``), and a ``check`` method yielding
+``(lineno, col, message)`` triples.  Rules receive the parsed AST plus a
+:class:`RuleContext` describing the file being linted; they never read the
+filesystem themselves, which keeps them trivially testable on source
+snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Type
+
+from tools.smatch_lint.config import LintConfig
+
+__all__ = ["RuleContext", "Rule", "RULES", "RULE_CODES"]
+
+Finding = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may know about the file under analysis."""
+
+    #: normalized POSIX path (relative to the repo root when possible)
+    path: str
+    config: LintConfig
+
+
+class Rule:
+    """Base class; subclasses define ``code`` and override ``check``."""
+
+    code: str = "SML000"
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def summary(cls) -> str:
+        """First line of the rule docstring (for ``--list-rules``)."""
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _at(node: ast.AST) -> Tuple[int, int]:
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1
+
+
+class RandomImportRule(Rule):
+    """SML001: randomness must flow through the repro.utils.rand facade.
+
+    ``random.Random`` is a Mersenne Twister — fully predictable from 624
+    outputs — so any key material, IV, blinding factor, or OPE coin drawn
+    from it is recoverable by the paper's Section IV adversary.  The only
+    module allowed to touch :mod:`random` is the facade, which defaults to
+    ``random.SystemRandom`` (OS entropy) and labels seeded instances as
+    non-cryptographic.
+    """
+
+    code = "SML001"
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if ctx.config.is_rand_facade(ctx.path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random":
+                        line, col = _at(node)
+                        yield (
+                            line,
+                            col,
+                            "direct `import random` — draw randomness "
+                            "through repro.utils.rand instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == "random":
+                    line, col = _at(node)
+                    yield (
+                        line,
+                        col,
+                        "`from random import ...` — draw randomness "
+                        "through repro.utils.rand instead",
+                    )
+
+
+class SecretEqualityRule(Rule):
+    """SML002: no `==`/`!=` on secret-typed values; use constant_time_eq.
+
+    Python's ``==`` on bytes/ints short-circuits at the first differing
+    byte, so comparing MAC tags, profile keys, or OPRF outputs with it is a
+    byte-at-a-time timing oracle (the classic HMAC-forgery attack).  Secrets
+    are detected by a name heuristic (``key``, ``tag``, ``digest``,
+    ``witness``, ... segments) with a public-name override (``key_index``,
+    ``public_key``, ``key_size`` are fine).  Use
+    :func:`repro.utils.ct.constant_time_eq`.
+    """
+
+    code = "SML002"
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> Optional[str]:
+        """The identifier an operand ultimately names, if any.
+
+        Unwraps subscripts (``keys[i]`` -> ``keys``); calls are opaque
+        (``len(key)`` compares a public length, not the key).
+        """
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for operand in [node.left, *node.comparators]:
+                name = self._terminal_name(operand)
+                if name and ctx.config.is_secret_name(name):
+                    line, col = _at(node)
+                    yield (
+                        line,
+                        col,
+                        f"`==`/`!=` on secret-looking value {name!r} — "
+                        "use repro.utils.ct.constant_time_eq",
+                    )
+                    break
+
+
+class FloatArithmeticRule(Rule):
+    """SML003: no float arithmetic in the exact-arithmetic TCB.
+
+    ``crypto/``, ``gf/``, and ``ntheory/`` operate on exact integers
+    (modular arithmetic, GF(2^m), RS syndromes); a stray ``/`` or float
+    literal silently rounds and corrupts ciphertexts or key material
+    instead of failing loudly.  Only the OPE hypergeometric sampler
+    (``crypto/ope.py``) is allowlisted — its float use is inherent to the
+    Boldyreva sampling law and re-quantized on output.
+    """
+
+    code = "SML003"
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.config.is_tcb_path(ctx.path):
+            return
+        if ctx.config.is_float_allowlisted(ctx.path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                line, col = _at(node)
+                yield (line, col, f"float literal {node.value!r} in exact-arithmetic code")
+            elif isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+                node.op, ast.Div
+            ):
+                line, col = _at(node)
+                yield (
+                    line,
+                    col,
+                    "true division `/` yields float — use `//`, "
+                    "Fraction, or math.isqrt",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                line, col = _at(node)
+                yield (line, col, "float() conversion in exact-arithmetic code")
+
+
+class ImportLayeringRule(Rule):
+    """SML004: the TCB must not import server/net/client/experiments code.
+
+    The security arguments treat ``crypto/``, ``gf/``, and ``ntheory/`` as a
+    closed trusted computing base the untrusted server merely *uses*.  An
+    import edge from the TCB into ``server/``, ``net/``, ``client/``, or
+    ``experiments/`` would let untrusted-side types or IO flow into
+    primitive code (and create cycles), dissolving that boundary.
+    """
+
+    code = "SML004"
+
+    @staticmethod
+    def _package_parts(posix_path: str) -> List[str]:
+        """Dotted package parts of the linted module (under ``src/``)."""
+        parts = posix_path.split("/")
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1].endswith(".py"):
+            # keep __init__ as a pseudo-module so relative-level stripping
+            # lands on the package itself, matching import semantics
+            parts = parts[:-1] + [parts[-1][:-3]]
+        return parts
+
+    def _resolved_target(
+        self, node: ast.ImportFrom, ctx: RuleContext
+    ) -> Optional[str]:
+        """Absolute dotted module an ``ImportFrom`` resolves to."""
+        if node.level == 0:
+            return node.module
+        pkg = self._package_parts(ctx.path)
+        # one level strips the module itself, further levels strip packages
+        base = pkg[: len(pkg) - node.level] if len(pkg) >= node.level else []
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.config.is_tcb_path(ctx.path):
+            return
+        forbidden = ctx.config.forbidden_layer_packages
+        for node in ast.walk(tree):
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                resolved = self._resolved_target(node, ctx)
+                if resolved:
+                    targets = [resolved]
+            for target in targets:
+                for pkg in forbidden:
+                    if target == pkg or target.startswith(pkg + "."):
+                        line, col = _at(node)
+                        yield (
+                            line,
+                            col,
+                            f"trusted-computing-base module imports {target!r} "
+                            "(untrusted layer) — invert the dependency",
+                        )
+
+
+class ExceptionHygieneRule(Rule):
+    """SML005: no bare/swallowing excepts, no assert-as-validation.
+
+    A bare ``except:`` (or ``except Exception: pass``) hides integrity
+    failures — a tampered store or forged authenticator must surface as a
+    typed ``repro.errors`` exception, not vanish.  ``assert`` is compiled
+    out under ``python -O``, so validation guarded by it silently stops
+    running in optimized deployments; raise typed errors instead.
+    """
+
+    code = "SML005"
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        broad = handler.type is None or (
+            isinstance(handler.type, ast.Name)
+            and handler.type.id in ("Exception", "BaseException")
+        )
+        only_pass = all(isinstance(stmt, ast.Pass) for stmt in handler.body)
+        return broad and only_pass
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    line, col = _at(node)
+                    yield (
+                        line,
+                        col,
+                        "bare `except:` — catch a typed repro.errors exception",
+                    )
+                elif self._swallows(node):
+                    line, col = _at(node)
+                    yield (
+                        line,
+                        col,
+                        "`except Exception: pass` swallows failures — catch "
+                        "a typed repro.errors exception or re-raise",
+                    )
+            elif isinstance(node, ast.Assert) and not ctx.config.is_assert_exempt(
+                ctx.path
+            ):
+                line, col = _at(node)
+                yield (
+                    line,
+                    col,
+                    "`assert` is stripped under python -O — raise a typed "
+                    "repro.errors exception for runtime validation",
+                )
+
+
+RULES: Tuple[Type[Rule], ...] = (
+    RandomImportRule,
+    SecretEqualityRule,
+    FloatArithmeticRule,
+    ImportLayeringRule,
+    ExceptionHygieneRule,
+)
+
+RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)
