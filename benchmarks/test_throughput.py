@@ -4,18 +4,34 @@ Not a paper figure — a genuine pytest-benchmark suite measuring the three
 hot paths of a running service at the paper's parameters (64-bit
 plaintexts, theta = 8): client enrollment, server query handling, and
 client-side verification.
+
+The suite runs under an active :mod:`repro.obs` metrics registry and ends
+by writing ``benchmarks/results/BENCH_throughput.json`` — measured per-op
+latencies plus the metrics snapshot — so the perf trajectory accumulates a
+machine-readable artifact per PR.
 """
+
+import json
+import time
 
 import pytest
 
 from repro.datasets import INFOCOM06
 from repro.experiments.common import build_population, build_scheme
 from repro.net.messages import QueryRequest, UploadMessage
+from repro.obs.metrics import disable_metrics, enable_metrics
 from repro.server.service import SMatchServer
 
 
 @pytest.fixture(scope="module")
-def world():
+def metrics_registry():
+    registry = enable_metrics()
+    yield registry
+    disable_metrics()
+
+
+@pytest.fixture(scope="module")
+def world(metrics_registry):
     pop = build_population(INFOCOM06, seed=33)
     users = pop.generate(40)
     scheme = build_scheme(INFOCOM06, schema=pop.schema, seed=33)
@@ -24,6 +40,19 @@ def world():
     for payload in uploads.values():
         server.handle_upload(UploadMessage(payload=payload))
     return pop, users, scheme, uploads, keys, server
+
+
+def _timed_us(fn, *args, iterations=5):
+    """Total/mean wall time of ``iterations`` calls, integer microseconds."""
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        fn(*args)
+    total_us = (time.perf_counter_ns() - start) // 1000
+    return {
+        "iterations": iterations,
+        "total_us": total_us,
+        "per_op_us": total_us // iterations,
+    }
 
 
 def test_enrollment_throughput(benchmark, world):
@@ -76,3 +105,40 @@ def test_upload_message_encode_throughput(benchmark, world):
     message = UploadMessage(payload=payload)
     encoded = benchmark(message.encode)
     assert len(encoded) > 0
+
+
+def test_emit_bench_artifact(world, metrics_registry, results_dir):
+    """Write BENCH_throughput.json: per-op latencies + metrics snapshot."""
+    _, users, scheme, uploads, keys, server = world
+    uid = users[0].profile.user_id
+    request = QueryRequest(query_id=9, timestamp=0, user_id=uid)
+    server.handle_query(request)  # warm the sort cache
+
+    def cold_query():
+        server.matcher.invalidate()
+        server.handle_query(request)
+
+    some_payload = uploads[uid]
+    ops = {
+        "enroll": _timed_us(scheme.enroll, users[0].profile, iterations=3),
+        "warm_query": _timed_us(server.handle_query, request),
+        "cold_query": _timed_us(cold_query),
+        "verify": _timed_us(scheme.verify, some_payload.auth, keys[uid]),
+    }
+    artifact = {
+        "suite": "throughput",
+        "params": {
+            "dataset": INFOCOM06.name,
+            "num_users": len(users),
+            "plaintext_bits": scheme.params.plaintext_bits,
+            "theta": scheme.params.theta,
+            "query_k": server.query_k,
+        },
+        "ops": ops,
+        "metrics": metrics_registry.snapshot(),
+    }
+    path = results_dir / "BENCH_throughput.json"
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    parsed = json.loads(path.read_text())
+    assert parsed["ops"]["enroll"]["per_op_us"] > 0
+    assert parsed["metrics"]["counters"]["smatch_server_uploads_total"] >= len(users)

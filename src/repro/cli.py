@@ -6,7 +6,12 @@ Gives the reproduction a front door:
 * ``datasets`` — print the Table-II statistics of the synthetic datasets;
 * ``experiment <name>`` — run one table/figure driver and print its table;
 * ``simulate`` — run the mobile-service lifecycle simulation;
-* ``attack <name>`` — run one of the Section-IV attack demonstrations.
+* ``attack <name>`` — run one of the Section-IV attack demonstrations;
+* ``obs report`` — render the trace/metrics artifacts of the last
+  ``--obs`` run (see docs/OBSERVABILITY.md).
+
+``simulate`` and ``experiment`` accept ``--obs`` (and ``--obs-dir DIR``) to
+record a structured trace and metrics snapshot of the run.
 """
 
 from __future__ import annotations
@@ -79,16 +84,49 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["Infocom06", "Sigcomm09", "Weibo"],
     )
     exp.add_argument("--users", type=int, default=40)
+    _add_obs_flags(exp)
 
     simp = sub.add_parser("simulate", help="run the lifecycle simulation")
     simp.add_argument("--users", type=int, default=30)
     simp.add_argument("--steps", type=int, default=10)
     simp.add_argument("--seed", type=int, default=1)
+    _add_obs_flags(simp)
 
     att = sub.add_parser("attack", help="run one ablation/attack demo")
     att.add_argument("name", choices=sorted(_ATTACKS))
 
+    obs = sub.add_parser("obs", help="inspect telemetry artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    rep = obs_sub.add_parser(
+        "report", help="render the recorded trace tree and metrics"
+    )
+    rep.add_argument(
+        "--dir",
+        default=None,
+        help="artifact directory (default: $SMATCH_OBS_DIR or .smatch-obs)",
+    )
+
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="record a structured trace + metrics snapshot for this run",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="where to write telemetry artifacts (implies --obs)",
+    )
+
+
+def _maybe_enable_obs(args) -> None:
+    if getattr(args, "obs", False) or getattr(args, "obs_dir", None):
+        from repro import obs
+
+        obs.enable(args.obs_dir)
 
 
 def _cmd_demo() -> int:
@@ -124,22 +162,34 @@ def _cmd_datasets() -> int:
 
 
 def _cmd_experiment(args) -> int:
-    result = _EXPERIMENTS[args.name](args)
+    from repro.obs import pipeline_span
+
+    with pipeline_span("experiment", experiment=args.name):
+        result = _EXPERIMENTS[args.name](args)
     print(result.format())
     return 0
 
 
 def _cmd_simulate(args) -> int:
     from repro.datasets import INFOCOM06
+    from repro.obs import pipeline_span
     from repro.sim import MobileServiceSimulation, SimConfig
 
-    sim = MobileServiceSimulation(
-        INFOCOM06,
-        SimConfig(num_users=args.users, steps=args.steps, seed=args.seed),
-    )
-    sim.run()
+    with pipeline_span("simulate", users=args.users, steps=args.steps):
+        sim = MobileServiceSimulation(
+            INFOCOM06,
+            SimConfig(num_users=args.users, steps=args.steps, seed=args.seed),
+        )
+        sim.run()
     for key, value in sim.summary().items():
         print(f"{key:>22}: {value}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.report import render_report
+
+    print(render_report(args.dir))
     return 0
 
 
@@ -154,6 +204,7 @@ def _cmd_attack(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _maybe_enable_obs(args)
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "datasets":
@@ -164,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "attack":
         return _cmd_attack(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError("unreachable")
 
 

@@ -28,8 +28,9 @@ from repro.crypto.kdf import hkdf, sha256
 from repro.crypto.oprf import RsaOprfClient, RsaOprfServer
 from repro.errors import ParameterError
 from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 from repro.utils.ct import constant_time_eq
-from repro.utils.instrument import count_op
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["ProfileKey", "ProfileKeygen"]
@@ -89,12 +90,17 @@ class ProfileKeygen:
         ``erasures`` optionally marks unreliable attribute positions for the
         erasure-augmented decoding mode (see :class:`FuzzyExtractor`).
         """
-        count_op("keygen")
-        k_prime = self.extractor.key_material(profile.values, erasures=erasures)
-        client = RsaOprfClient(self._oprf_server.public_key, rng=self._rng)
-        key = client.evaluate(k_prime, self._oprf_server)
-        index = sha256(b"smatch-key-index", key)
-        return ProfileKey(key=key, index=index)
+        with span("keygen.derive", user=profile.user_id):
+            count_op("keygen")
+            with span("keygen.fuzzy_extract"):
+                k_prime = self.extractor.key_material(
+                    profile.values, erasures=erasures
+                )
+            with span("keygen.oprf"):
+                client = RsaOprfClient(self._oprf_server.public_key, rng=self._rng)
+                key = client.evaluate(k_prime, self._oprf_server)
+            index = sha256(b"smatch-key-index", key)
+            return ProfileKey(key=key, index=index)
 
     def derive_from_values(self, values: Sequence[int]) -> bytes:
         """Key material only (no OPRF round): ``K' = H(T(v))``.

@@ -25,7 +25,8 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.errors import MatchingError, ParameterError
-from repro.utils.instrument import count_op
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 
 __all__ = [
     "rank_sum",
@@ -119,11 +120,12 @@ def score_table(
     weights: Optional[Sequence[float]] = None,
 ) -> Dict[UserId, int]:
     """Dispatch on the order method: ``"rank"`` or ``"value"``."""
-    if method == "rank":
-        return rank_sum(chains, weights=weights)
-    if method == "value":
-        return value_sum(chains, weights=weights)
-    raise ParameterError(f"unknown order method {method!r}")
+    with span("match.score_table", method=method, users=len(chains)):
+        if method == "rank":
+            return rank_sum(chains, weights=weights)
+        if method == "value":
+            return value_sum(chains, weights=weights)
+        raise ParameterError(f"unknown order method {method!r}")
 
 
 def _query_score(

@@ -30,7 +30,8 @@ from repro.crypto.oprf import RsaOprfServer
 from repro.errors import ParameterError
 from repro.ntheory.groups import SchnorrGroup
 from repro.rs.fuzzy import FuzzyParams
-from repro.utils.instrument import count_op
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["SMatchParams", "EncryptedProfile", "SMatch"]
@@ -155,8 +156,9 @@ class SMatch:
 
     def init_data(self, profile: Profile) -> List[int]:
         """``Mu <- InitData(Au)``: the entropy-increase step (one-to-N)."""
-        count_op("init_data")
-        return self.mapper.map_profile(profile.values, rng=self._rng)
+        with span("scheme.init_data", attributes=len(profile.values)):
+            count_op("init_data")
+            return self.mapper.map_profile(profile.values, rng=self._rng)
 
     def encrypt(
         self, profile: Profile, key: ProfileKey, mapped: Optional[Sequence[int]] = None
@@ -168,26 +170,29 @@ class SMatch:
         """
         if mapped is None:
             mapped = self.init_data(profile)
-        chainer = AttributeChainer(
-            key.subkey(b"chain"),
-            self.params.num_attributes,
-            self.params.plaintext_bits,
-        )
-        ope = OPE(key.subkey(b"ope"), self.params.ope_params)
-        chained = chainer.chain(list(mapped))
-        return tuple(ope.encrypt(v) for v in chained)
+        with span("scheme.encrypt", attributes=self.params.num_attributes):
+            chainer = AttributeChainer(
+                key.subkey(b"chain"),
+                self.params.num_attributes,
+                self.params.plaintext_bits,
+            )
+            ope = OPE(key.subkey(b"ope"), self.params.ope_params)
+            chained = chainer.chain(list(mapped))
+            return tuple(ope.encrypt(v) for v in chained)
 
     def auth(
         self, profile: Profile, key: ProfileKey, secret: Optional[int] = None
     ) -> AuthInfo:
         """``ciph_u <- Auth(u)``: the verification commitment."""
-        if secret is None:
-            secret = self.verifier.make_secret(self._rng)
-        return self.verifier.auth(profile.user_id, secret, key, rng=self._rng)
+        with span("scheme.auth", user=profile.user_id):
+            if secret is None:
+                secret = self.verifier.make_secret(self._rng)
+            return self.verifier.auth(profile.user_id, secret, key, rng=self._rng)
 
     def verify(self, auth_info: AuthInfo, key: ProfileKey) -> bool:
         """``b <- Vf(ID_v, ciph_v, u)``: check a claimed match."""
-        return self.verifier.verify(auth_info, key)
+        with span("scheme.verify", claimed_user=auth_info.user_id):
+            return self.verifier.verify(auth_info, key)
 
     def match_in_group(
         self,
@@ -202,14 +207,15 @@ class SMatch:
         the paper's worked example speaks of attributes "with equal
         weights", which is the default.
         """
-        chains = {uid: ep.chain for uid, ep in group.items()}
-        return knn_match(
-            chains,
-            query_user,
-            k if k is not None else self.params.query_k,
-            method=self.params.order_method,
-            weights=weights,
-        )
+        with span("scheme.match", group_size=len(group)):
+            chains = {uid: ep.chain for uid, ep in group.items()}
+            return knn_match(
+                chains,
+                query_user,
+                k if k is not None else self.params.query_k,
+                method=self.params.order_method,
+                weights=weights,
+            )
 
     def match_within_distance(
         self,
@@ -238,16 +244,17 @@ class SMatch:
         Returns the upload payload and the user's profile key (which the
         user retains for querying and verification).
         """
-        key = self.keygen(profile)
-        chain = self.encrypt(profile, key)
-        auth_info = self.auth(profile, key, secret)
-        payload = EncryptedProfile(
-            user_id=profile.user_id,
-            key_index=key.index,
-            chain=chain,
-            auth=auth_info,
-        )
-        return payload, key
+        with span("scheme.enroll", user=profile.user_id):
+            key = self.keygen(profile)
+            chain = self.encrypt(profile, key)
+            auth_info = self.auth(profile, key, secret)
+            payload = EncryptedProfile(
+                user_id=profile.user_id,
+                key_index=key.index,
+                chain=chain,
+                auth=auth_info,
+            )
+            return payload, key
 
     def enroll_population(
         self, profiles: Sequence[Profile]

@@ -16,7 +16,8 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import KeyError_, ParameterError
-from repro.utils.instrument import count_op
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 
 __all__ = ["AES"]
 
@@ -95,7 +96,9 @@ class AES:
             )
         self.key_size = len(key)
         self.rounds = {16: 10, 24: 12, 32: 14}[len(key)]
-        self._round_keys = self._expand_key(key)
+        with span("aes.key_schedule", key_bits=8 * len(key)):
+            count_op("aes_key_schedule")
+            self._round_keys = self._expand_key(key)
 
     def _expand_key(self, key: bytes) -> List[List[int]]:
         nk = len(key) // 4

@@ -33,7 +33,8 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.errors import CiphertextError, KeyError_, ParameterError
-from repro.utils.instrument import count_op
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 from repro.utils.rand import DeterministicStream
 
 __all__ = ["OpeParams", "OPE", "AdaptiveOPE"]
@@ -185,17 +186,18 @@ class OPE:
             raise ParameterError(
                 f"plaintext {m} outside [0, 2^{p.plaintext_bits})"
             )
-        dlo, dhi = 0, p.domain_size - 1
-        rlo, rhi = 0, p.range_size - 1
-        while dlo < dhi:
-            count_op("ope_level")
-            dmid = (dlo + dhi) // 2
-            rmid = self._split_point(dlo, dhi, rlo, rhi)
-            if m <= dmid:
-                dhi, rhi = dmid, rmid
-            else:
-                dlo, rlo = dmid + 1, rmid + 1
-        return self._leaf_value(dlo, rlo, rhi)
+        with span("ope.encrypt", bits=p.plaintext_bits):
+            dlo, dhi = 0, p.domain_size - 1
+            rlo, rhi = 0, p.range_size - 1
+            while dlo < dhi:
+                count_op("ope_level")
+                dmid = (dlo + dhi) // 2
+                rmid = self._split_point(dlo, dhi, rlo, rhi)
+                if m <= dmid:
+                    dhi, rhi = dmid, rmid
+                else:
+                    dlo, rlo = dmid + 1, rmid + 1
+            return self._leaf_value(dlo, rlo, rhi)
 
     def decrypt(self, c: int) -> int:
         """Invert :meth:`encrypt`; raises on values not in the image."""
@@ -204,19 +206,20 @@ class OPE:
             raise CiphertextError(
                 f"ciphertext {c} outside [0, 2^{p.ciphertext_bits})"
             )
-        dlo, dhi = 0, p.domain_size - 1
-        rlo, rhi = 0, p.range_size - 1
-        while dlo < dhi:
-            count_op("ope_level")
-            dmid = (dlo + dhi) // 2
-            rmid = self._split_point(dlo, dhi, rlo, rhi)
-            if c <= rmid:
-                dhi, rhi = dmid, rmid
-            else:
-                dlo, rlo = dmid + 1, rmid + 1
-        if self._leaf_value(dlo, rlo, rhi) != c:
-            raise CiphertextError(f"{c} is not a valid ciphertext")
-        return dlo
+        with span("ope.decrypt", bits=p.plaintext_bits):
+            dlo, dhi = 0, p.domain_size - 1
+            rlo, rhi = 0, p.range_size - 1
+            while dlo < dhi:
+                count_op("ope_level")
+                dmid = (dlo + dhi) // 2
+                rmid = self._split_point(dlo, dhi, rlo, rhi)
+                if c <= rmid:
+                    dhi, rhi = dmid, rmid
+                else:
+                    dlo, rlo = dmid + 1, rmid + 1
+            if self._leaf_value(dlo, rlo, rhi) != c:
+                raise CiphertextError(f"{c} is not a valid ciphertext")
+            return dlo
 
 
 class AdaptiveOPE(OPE):

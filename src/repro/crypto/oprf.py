@@ -25,6 +25,7 @@ from repro.crypto.kdf import hash_to_range, sha256
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey
 from repro.errors import CryptoError, ParameterError
 from repro.ntheory.modular import modexp, modinv
+from repro.obs.trace import span
 from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
@@ -59,7 +60,8 @@ class RsaOprfServer:
         """``y = x^d mod N``; sees only the blinded value."""
         if not 0 <= x < self._keypair.public.n:
             raise ParameterError("blinded value out of range")
-        return self._keypair.raw_decrypt(x)
+        with span("oprf.evaluate", bits=self._keypair.public.modulus_bits):
+            return self._keypair.raw_decrypt(x)
 
     def unblinded_evaluate(self, message: bytes) -> bytes:
         """Direct evaluation ``F(sk, m)``; reference for correctness tests."""
@@ -83,14 +85,15 @@ class RsaOprfClient:
 
     def blind(self, message: bytes) -> BlindingState:
         """``x = h(m) * s^e mod N`` for fresh random ``s``."""
-        n = self.public_key.n
-        hm = hash_to_range(b"oprf-input" + message, n)
-        while True:
-            s = self._rng.randrange(2, n - 1)
-            if math.gcd(s, n) == 1:
-                break
-        blinded = hm * modexp(s, self.public_key.e, n) % n
-        return BlindingState(blinded=blinded, unblinder=modinv(s, n))
+        with span("oprf.blind"):
+            n = self.public_key.n
+            hm = hash_to_range(b"oprf-input" + message, n)
+            while True:
+                s = self._rng.randrange(2, n - 1)
+                if math.gcd(s, n) == 1:
+                    break
+            blinded = hm * modexp(s, self.public_key.e, n) % n
+            return BlindingState(blinded=blinded, unblinder=modinv(s, n))
 
     def finalize(self, state: BlindingState, response: int) -> bytes:
         """``r = h'(y * s^{-1} mod N)``, with a consistency check.
@@ -100,16 +103,17 @@ class RsaOprfClient:
         ``response^e == blinded (mod N)`` — this catches a misbehaving or
         corrupted OPRF server before the result is used as key material.
         """
-        n = self.public_key.n
-        if not 0 <= response < n:
-            raise ParameterError("OPRF response out of range")
-        if not constant_time_eq(
-            modexp(response, self.public_key.e, n), state.blinded % n
-        ):
-            raise CryptoError("OPRF server response failed verification")
-        unblinded = response * state.unblinder % n
-        width = (n.bit_length() + 7) // 8
-        return sha256(b"oprf-output", unblinded.to_bytes(width, "big"))
+        with span("oprf.finalize"):
+            n = self.public_key.n
+            if not 0 <= response < n:
+                raise ParameterError("OPRF response out of range")
+            if not constant_time_eq(
+                modexp(response, self.public_key.e, n), state.blinded % n
+            ):
+                raise CryptoError("OPRF server response failed verification")
+            unblinded = response * state.unblinder % n
+            width = (n.bit_length() + 7) // 8
+            return sha256(b"oprf-output", unblinded.to_bytes(width, "big"))
 
     def evaluate(self, message: bytes, server: RsaOprfServer) -> bytes:
         """Run the full one-round protocol against an in-process server."""

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.errors import CiphertextError, ParameterError
 from repro.ntheory.modular import modexp, modinv
 from repro.ntheory.primes import generate_prime
+from repro.obs.trace import span
 from repro.utils.ct import constant_time_eq
 from repro.utils.rand import SystemRandomSource
 
@@ -65,6 +66,13 @@ class RSAKeyPair:
         if bits < 64:
             raise ParameterError(f"RSA modulus too small: {bits} bits")
         rng = rng or SystemRandomSource()
+        with span("rsa.generate", bits=bits):
+            return cls._generate(bits, e, rng)
+
+    @classmethod
+    def _generate(
+        cls, bits: int, e: int, rng: SystemRandomSource
+    ) -> "RSAKeyPair":
         while True:
             p = generate_prime(bits // 2, rng)
             q = generate_prime(bits - bits // 2, rng)
@@ -94,13 +102,14 @@ class RSAKeyPair:
         """``c^d mod N`` using the CRT speedup."""
         if not 0 <= c < self.public.n:
             raise CiphertextError("ciphertext out of range")
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        mp = modexp(c % self.p, dp, self.p)
-        mq = modexp(c % self.q, dq, self.q)
-        qinv = modinv(self.q, self.p)
-        h = (mp - mq) * qinv % self.p
-        return mq + h * self.q
+        with span("rsa.raw_decrypt", bits=self.public.modulus_bits):
+            dp = self.d % (self.p - 1)
+            dq = self.d % (self.q - 1)
+            mp = modexp(c % self.p, dp, self.p)
+            mq = modexp(c % self.q, dq, self.q)
+            qinv = modinv(self.q, self.p)
+            h = (mp - mq) * qinv % self.p
+            return mq + h * self.q
 
     def sign_raw(self, m: int) -> int:
         """Raw private-key operation (same as raw decryption)."""

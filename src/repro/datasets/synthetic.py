@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.profile import AttributeSpec, Profile, ProfileSchema
 from repro.datasets.schema import AttributeDistSpec, DatasetSpec
 from repro.errors import DatasetError, ParameterError
+from repro.obs.trace import span
 from repro.rs.fuzzy import FuzzyExtractor, FuzzyParams
 from repro.utils.rand import SystemRandomSource
 
@@ -332,27 +333,28 @@ class ClusteredPopulation:
             raise ParameterError("mean_cluster_size must be >= 1")
         if max_cluster_size < 1:
             raise ParameterError("max_cluster_size must be >= 1")
-        users: List[_GeneratedUser] = []
-        uid = 1
-        p_stop = 1.0 / mean_cluster_size
-        while len(users) < n:
-            categorical = self.sample_categorical()
-            center = self.cluster_center(categorical)
-            members = 0
-            while len(users) < n and members < max_cluster_size:
-                values = self._noisy_member(center)
-                users.append(
-                    _GeneratedUser(
-                        profile=Profile(uid, self.schema, values),
-                        categorical=categorical,
-                        cluster_center=center,
+        with span("profile.build", dataset=self.spec.name, users=n):
+            users: List[_GeneratedUser] = []
+            uid = 1
+            p_stop = 1.0 / mean_cluster_size
+            while len(users) < n:
+                categorical = self.sample_categorical()
+                center = self.cluster_center(categorical)
+                members = 0
+                while len(users) < n and members < max_cluster_size:
+                    values = self._noisy_member(center)
+                    users.append(
+                        _GeneratedUser(
+                            profile=Profile(uid, self.schema, values),
+                            categorical=categorical,
+                            cluster_center=center,
+                        )
                     )
-                )
-                uid += 1
-                members += 1
-                if self._rng.random() < p_stop:
-                    break
-        return users
+                    uid += 1
+                    members += 1
+                    if self._rng.random() < p_stop:
+                        break
+            return users
 
     def generate_profiles(self, num_nodes: Optional[int] = None) -> List[Profile]:
         """Generate a population and return the profiles only."""

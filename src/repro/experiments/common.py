@@ -12,6 +12,7 @@ from repro.crypto.oprf import RsaOprfServer
 from repro.datasets.schema import DatasetSpec
 from repro.datasets.synthetic import ClusteredPopulation
 from repro.errors import ParameterError
+from repro.obs.trace import span
 from repro.utils.rand import SystemRandomSource
 
 __all__ = [
@@ -90,21 +91,22 @@ def build_scheme(
     uniform over its numeric domain — the raw categorical distributions do
     not apply to the lifted numeric values.
     """
-    rng = SystemRandomSource(seed=seed)
-    oprf = RsaOprfServer(keypair=fixed_rsa_keypair(1024), rng=rng)
-    if schema is None:
-        schema = ProfileSchema.uniform(
-            [a.name for a in spec.attributes],
-            max(a.cardinality for a in spec.attributes),
+    with span("experiment.build_scheme", dataset=spec.name, bits=plaintext_bits):
+        rng = SystemRandomSource(seed=seed)
+        oprf = RsaOprfServer(keypair=fixed_rsa_keypair(1024), rng=rng)
+        if schema is None:
+            schema = ProfileSchema.uniform(
+                [a.name for a in spec.attributes],
+                max(a.cardinality for a in spec.attributes),
+            )
+        params = SMatchParams(
+            schema=schema,
+            theta=theta,
+            plaintext_bits=plaintext_bits,
+            query_k=query_k,
+            parity_symbols=parity_symbols,
         )
-    params = SMatchParams(
-        schema=schema,
-        theta=theta,
-        plaintext_bits=plaintext_bits,
-        query_k=query_k,
-        parity_symbols=parity_symbols,
-    )
-    return SMatch(params, oprf_server=oprf, rng=rng)
+        return SMatch(params, oprf_server=oprf, rng=rng)
 
 
 def build_population(

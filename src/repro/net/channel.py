@@ -17,6 +17,8 @@ from repro.crypto.modes import AeadCiphertext, EtMCipher
 from repro.errors import ProtocolError
 from repro.net.messages import Message, decode_message
 from repro.net.transport import Endpoint
+from repro.obs.metrics import metric_inc, metric_observe
+from repro.obs.trace import record_bytes
 from repro.utils.rand import SystemRandomSource
 
 __all__ = ["SecureChannel"]
@@ -55,6 +57,8 @@ class SecureChannel:
         datagram = sealed.encode()
         self._endpoint.send(self._peer, datagram)
         self.bytes_sent += len(datagram)
+        metric_inc("smatch_channel_messages_total")
+        metric_observe("smatch_channel_sent_bytes", len(datagram))
         return len(datagram)
 
     def recv(self) -> Message:
@@ -70,6 +74,8 @@ class SecureChannel:
         )
         self._recv_seq += 1
         self.bytes_received += len(datagram)
+        metric_observe("smatch_channel_received_bytes", len(datagram))
+        record_bytes("received", len(datagram))
         return decode_message(plaintext)
 
     def pending(self) -> int:

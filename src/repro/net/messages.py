@@ -203,8 +203,8 @@ _DECODERS = {
 def decode_message(raw: bytes) -> Message:
     """Decode any protocol message from its tagged encoding."""
     reader = FieldReader(raw)
-    tag = reader.read_int()
-    decoder = _DECODERS.get(tag)
+    kind = reader.read_int()
+    decoder = _DECODERS.get(kind)
     if decoder is None:
-        raise ProtocolError(f"unknown message tag {tag}")
+        raise ProtocolError(f"unknown message tag {kind}")
     return decoder(reader)

@@ -1,0 +1,165 @@
+"""Privacy-safe structured logging for the S-MATCH pipeline.
+
+The paper's Section IV threat model is about *information leakage*: an
+honest-but-curious party reading anything the system emits.  Telemetry must
+therefore never become a side channel — a debug log line containing a
+profile key, OPRF output, or MAC tag would hand the adversary exactly what
+the protocol protects.  Three layers enforce that:
+
+1. statically, smatch-lint rule SML006 forbids secret-named identifiers in
+   logging calls and exception messages (see docs/STATIC_ANALYSIS.md);
+2. at runtime, every record passes through a :class:`Redactor` that drops
+   the *values* of secret-named fields (same name heuristics as SML002)
+   and never prints raw ``bytes`` content — only lengths;
+3. by convention, call sites log identifiers, sizes, and counts — never
+   key material (docs/OBSERVABILITY.md states the policy).
+
+Usage::
+
+    log = get_logger("server")
+    log.info("upload_accepted", user_id=3, wire_bytes=812)
+
+Records render as ``component=server event=upload_accepted user_id=3
+wire_bytes=812`` through stdlib :mod:`logging`, so deployments keep their
+usual handler/level machinery.  Library-style default: a ``NullHandler``
+until :func:`configure_logging` attaches a real one.
+"""
+
+from __future__ import annotations
+
+import logging as _logging
+import re
+from typing import Any, Optional, TextIO
+
+__all__ = ["Redactor", "KeyValueFormatter", "SmatchLogger", "get_logger", "configure_logging"]
+
+_ROOT_NAME = "smatch"
+
+# The SML002 secret/public name heuristics.  ``tools.smatch_lint`` is the
+# source of truth but is not shipped with the installed package (it lives
+# outside ``src/``), so we import it when present and otherwise fall back
+# to a verbatim mirror; tests assert the two stay in sync.
+_FALLBACK_SECRET_RE = re.compile(
+    r"(?:^|_)(?:key|keys|secret|secrets|tag|tags|mac|digest|digests"
+    r"|token|tokens|witness|witnesses|unblinder|kup|k_prime|oprf_output)"
+    r"(?:_|$)",
+    re.IGNORECASE,
+)
+_FALLBACK_PUBLIC_RE = re.compile(
+    r"(?:^|_)(?:public|pub|index|indexes|indices|size|sizes|len|length"
+    r"|bits|bit|id|ids|idx|kind|name|names|type|count|info|schema)"
+    r"(?:_|$)",
+    re.IGNORECASE,
+)
+
+try:  # pragma: no cover - exercised only when tools/ is importable
+    from tools.smatch_lint.config import DEFAULT_CONFIG as _LINT_CONFIG
+
+    _SECRET_NAME_RE = _LINT_CONFIG.secret_name_re
+    _PUBLIC_NAME_RE = _LINT_CONFIG.public_name_re
+except ImportError:  # pragma: no cover - installed-package path
+    _SECRET_NAME_RE = _FALLBACK_SECRET_RE
+    _PUBLIC_NAME_RE = _FALLBACK_PUBLIC_RE
+
+
+class Redactor:
+    """Refuses to render values typed or named as secret material."""
+
+    REDACTED = "[REDACTED]"
+
+    def is_secret_field(self, field_name: str) -> bool:
+        """Apply the SML002 name heuristic to a structured-log field name."""
+        if _PUBLIC_NAME_RE.search(field_name):
+            return False
+        return bool(_SECRET_NAME_RE.search(field_name))
+
+    def render_value(self, field_name: str, value: Any) -> str:
+        """The loggable form of one field value.
+
+        Secret-named fields are redacted outright.  ``bytes``/``bytearray``
+        values are *never* printed — raw bytes in this codebase are keys,
+        tags, ciphertexts, or wire datagrams, and even "public" ciphertext
+        bytes support the frequency-analysis attacks of Section IV — only
+        their length is informative and safe.
+        """
+        if self.is_secret_field(field_name):
+            return self.REDACTED
+        if isinstance(value, (bytes, bytearray)):
+            return f"bytes[{len(value)}]"
+        text = str(value)
+        if len(text) > 200:  # oversized values are suspicious; truncate
+            return text[:200] + "..."
+        return text
+
+
+class KeyValueFormatter(_logging.Formatter):
+    """``time level component event k=v ...`` single-line records."""
+
+    def format(self, record: _logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname.lower()} {record.getMessage()}"
+        )
+        if record.exc_info:
+            base += " exc=" + record.exc_info[0].__name__
+        return base
+
+
+class SmatchLogger:
+    """A component-bound structured logger; all fields pass the redactor."""
+
+    def __init__(self, component: str, redactor: Optional[Redactor] = None) -> None:
+        self.component = component
+        self._redactor = redactor or Redactor()
+        self._logger = _logging.getLogger(f"{_ROOT_NAME}.{component}")
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        redactor = self._redactor
+        parts = [f"component={self.component}", f"event={event}"]
+        for field_name in sorted(fields):
+            parts.append(
+                f"{field_name}={redactor.render_value(field_name, fields[field_name])}"
+            )
+        self._logger.log(level, " ".join(parts))
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit a DEBUG record for ``event`` with redacted fields."""
+        self._emit(_logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit an INFO record for ``event`` with redacted fields."""
+        self._emit(_logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit a WARNING record for ``event`` with redacted fields."""
+        self._emit(_logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit an ERROR record for ``event`` with redacted fields."""
+        self._emit(_logging.ERROR, event, fields)
+
+
+def get_logger(component: str) -> SmatchLogger:
+    """The structured logger for one component (``server``, ``net``, ...)."""
+    return SmatchLogger(component)
+
+
+def configure_logging(
+    level: int = _logging.INFO, stream: Optional[TextIO] = None
+) -> _logging.Handler:
+    """Attach a key=value handler to the ``smatch`` logger hierarchy.
+
+    Returns the handler so callers (tests, the CLI) can detach it again.
+    """
+    root = _logging.getLogger(_ROOT_NAME)
+    handler = _logging.StreamHandler(stream) if stream is not None else _logging.StreamHandler()
+    handler.setFormatter(KeyValueFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+# Library default: silent until a handler is configured.
+_logging.getLogger(_ROOT_NAME).addHandler(_logging.NullHandler())

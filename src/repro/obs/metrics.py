@@ -1,0 +1,256 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The paper's evaluation is a cost story — op counts, bytes on the wire,
+durations — so every metric value here is an **integer** (durations in
+microseconds, sizes in bytes).  No floats ever enter the crypto paths; the
+only division happens at render time.
+
+Like spans and ``count_op``, recording is off unless a registry has been
+activated (:func:`enable_metrics`), and the module-level helpers
+(:func:`metric_inc`, :func:`metric_observe`, :func:`metric_set`) are no-ops
+when it is not — one global read per call on the disabled path.
+
+Exports: Prometheus text exposition (``render_prometheus``) and JSON
+(``snapshot``), both consumed by ``repro obs report`` and the benchmark
+artifact writer.
+
+Naming convention (see docs/OBSERVABILITY.md):
+``smatch_<component>_<quantity>[_<unit>][_total]`` —
+``smatch_net_sent_bytes``, ``smatch_server_queries_total``, ...
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BYTE_BUCKETS",
+    "DURATION_US_BUCKETS",
+    "enable_metrics",
+    "disable_metrics",
+    "active_metrics",
+    "metric_inc",
+    "metric_set",
+    "metric_observe",
+]
+
+#: Default histogram buckets for message sizes (bytes).
+BYTE_BUCKETS: Tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+#: Default histogram buckets for durations (microseconds).
+DURATION_US_BUCKETS: Tuple[int, ...] = (
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ParameterError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A settable integer (queue depths, group counts, cache sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket integer histogram (cumulative-bucket Prometheus shape)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[int]) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ParameterError("histogram bounds must be sorted and unique")
+        self.name = name
+        self.bounds: Tuple[int, ...] = tuple(int(b) for b in bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value: int) -> None:
+        """Record one integer observation."""
+        if value < 0:
+            raise ParameterError("histogram observations must be >= 0")
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Prometheus-style cumulative (le, count) pairs ending at +Inf."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            pairs.append((str(bound), running))
+        pairs.append(("+Inf", running + self.bucket_counts[-1]))
+        return pairs
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and renderable snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, creating it on first use."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, creating it on first use."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[int] = BYTE_BUCKETS
+    ) -> Histogram:
+        """The histogram named ``name``, creating it with ``buckets``."""
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    # -- exports ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly view of every metric."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "buckets": dict(h.cumulative()),
+                        "sum": h.total,
+                        "count": h.count,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def render_json(self) -> str:
+        """The snapshot as pretty-printed JSON."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format."""
+        lines: List[str] = []
+        with self._lock:
+            for name, c in sorted(self._counters.items()):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {c.value}")
+            for name, g in sorted(self._gauges.items()):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {g.value}")
+            for name, h in sorted(self._histograms.items()):
+                lines.append(f"# TYPE {name} histogram")
+                for le, n in h.cumulative():
+                    lines.append(f'{name}_bucket{{le="{le}"}} {n}')
+                lines.append(f"{name}_sum {h.total}")
+                lines.append(f"{name}_count {h.count}")
+        return "\n".join(lines) + "\n"
+
+
+# -- process-wide activation ---------------------------------------------------
+
+_active: Optional[MetricsRegistry] = None
+
+
+def enable_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Activate (and return) the process-wide registry."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable_metrics() -> None:
+    """Deactivate metrics recording; helpers become no-ops again."""
+    global _active
+    _active = None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are off."""
+    return _active
+
+
+def metric_inc(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active registry (no-op when inactive)."""
+    registry = _active
+    if registry is not None:
+        registry.counter(name).inc(amount)
+
+
+def metric_set(name: str, value: int) -> None:
+    """Set a gauge on the active registry (no-op when inactive)."""
+    registry = _active
+    if registry is not None:
+        registry.gauge(name).set(value)
+
+
+def metric_observe(
+    name: str, value: int, buckets: Sequence[int] = BYTE_BUCKETS
+) -> None:
+    """Observe into a histogram on the active registry (no-op when inactive)."""
+    registry = _active
+    if registry is not None:
+        registry.histogram(name, buckets).observe(value)

@@ -1,0 +1,330 @@
+"""Structured tracing: nested spans over the S-MATCH pipeline.
+
+A *span* covers one phase of a protocol run — entropy increase, fuzzy
+keygen, OPE encryption, the server-side match, verification — and records
+
+* monotonic start offset and duration (integer nanoseconds; the paper's
+  cost story is durations and byte counts, never floats),
+* the :class:`~repro.obs.instrument.OpCounter` delta between entry and
+  exit (hash ops, modexps, OPE levels ... the Section VII-C quantities),
+* message-byte tallies contributed by the ``net`` layer via
+  :func:`record_bytes`.
+
+Tracing follows the same activation discipline as ``count_op``: *nothing*
+is recorded unless a :class:`Tracer` is active on the current thread, and
+an inactive :func:`span` call returns a shared no-op object, so the
+instrumented hot paths pay one attribute lookup when telemetry is off.
+
+A finished trace exports as JSONL (one span per line, parent links by id)
+and as a rendered text tree (``repro obs report``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ParameterError
+from repro.obs.instrument import counting
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+    "current_tracer",
+    "current_span",
+    "record_bytes",
+    "render_tree",
+]
+
+_local = threading.local()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """Ignore an attribute (tracing is off)."""
+
+    def add_bytes(self, direction: str, amount: int) -> None:
+        """Ignore a byte tally (tracing is off)."""
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One timed, op-counted phase of a traced run.
+
+    Spans nest: entering a span pushes it on the thread's stack and
+    activates a fresh op counter; exiting folds both its counts and its
+    byte tallies into the parent, so every span reports the *total* work
+    performed while it was open (itself plus its children).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "start_ns",
+        "duration_ns",
+        "ops",
+        "bytes_io",
+        "children",
+        "_counting_cm",
+        "_counter",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._next_id()
+        self.start_ns = 0
+        self.duration_ns = 0
+        self.ops: Dict[str, int] = {}
+        self.bytes_io: Counter = Counter()
+        self.children: List["Span"] = []
+        self._tracer = tracer
+        self._counting_cm: Optional[Any] = None
+        self._counter = None
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """Attach (or update) a span attribute after entry."""
+        self.attrs[name] = value
+
+    def add_bytes(self, direction: str, amount: int) -> None:
+        """Tally ``amount`` message bytes under ``direction`` (sent/received)."""
+        self.bytes_io[direction] += amount
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self._counting_cm = counting()
+        self._counter = self._counting_cm.__enter__()
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        self.ops = self._counter.as_dict()
+        self._counting_cm.__exit__(None, None, None)
+        stack = self._tracer._stack
+        stack.pop()
+        if stack:
+            stack[-1].bytes_io.update(self.bytes_io)
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Owns one trace: a root span and the thread-local span stack."""
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self._ids = 0
+        self._stack: List[Span] = []
+        self.root = Span(self, name, dict(attrs or {}))
+
+    def _next_id(self) -> int:
+        self._ids += 1
+        return self._ids
+
+    # -- queries ---------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """All spans, depth-first from the root."""
+        return list(self.root.walk())
+
+    def span_names(self) -> List[str]:
+        """The names of all spans, depth-first (test/assert convenience)."""
+        return [s.name for s in self.root.walk()]
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with the given name."""
+        return [s for s in self.root.walk() if s.name == name]
+
+    # -- exports ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, depth-first, linked by parent id.
+
+        Times are integer microseconds; ``start_us`` is relative to the
+        root span's start, so traces are comparable across runs.
+        """
+        lines = []
+        origin = self.root.start_ns
+        parents: Dict[int, Optional[int]] = {self.root.span_id: None}
+        for s in self.root.walk():
+            for child in s.children:
+                parents[child.span_id] = s.span_id
+            lines.append(
+                json.dumps(
+                    {
+                        "id": s.span_id,
+                        "parent": parents[s.span_id],
+                        "name": s.name,
+                        "attrs": s.attrs,
+                        "start_us": (s.start_ns - origin) // 1000,
+                        "duration_us": s.duration_ns // 1000,
+                        "ops": s.ops,
+                        "bytes": dict(s.bytes_io),
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def render(self) -> str:
+        """The trace as an indented text tree."""
+        return render_tree(
+            [
+                {
+                    "id": s.span_id,
+                    "parent": None,  # structure comes from children below
+                    "name": s.name,
+                    "attrs": s.attrs,
+                    "duration_us": s.duration_ns // 1000,
+                    "ops": s.ops,
+                    "bytes": dict(s.bytes_io),
+                }
+                for s in [self.root]
+            ],
+            _children_of(self.root),
+        )
+
+
+def _children_of(root: Span) -> Dict[int, List[Dict[str, Any]]]:
+    """Child-record map for :func:`render_tree`, built from live spans."""
+    children: Dict[int, List[Dict[str, Any]]] = {}
+    for s in root.walk():
+        children[s.span_id] = [
+            {
+                "id": c.span_id,
+                "name": c.name,
+                "attrs": c.attrs,
+                "duration_us": c.duration_ns // 1000,
+                "ops": c.ops,
+                "bytes": dict(c.bytes_io),
+            }
+            for c in s.children
+        ]
+    return children
+
+
+def _format_span_line(record: Dict[str, Any]) -> str:
+    """One rendered line: name, attrs, duration, op counts, byte tallies."""
+    parts = [record["name"]]
+    attrs = record.get("attrs") or {}
+    if attrs:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(attrs.items())))
+    us = record.get("duration_us", 0)
+    parts.append(f"({us // 1000}.{(us % 1000) // 100}ms)" if us >= 1000 else f"({us}us)")
+    ops = record.get("ops") or {}
+    if ops:
+        parts.append("[" + " ".join(f"{k}={v}" for k, v in sorted(ops.items())) + "]")
+    byte_counts = record.get("bytes") or {}
+    if byte_counts:
+        parts.append(
+            "{" + " ".join(f"{k}={v}B" for k, v in sorted(byte_counts.items())) + "}"
+        )
+    return " ".join(parts)
+
+
+def render_tree(
+    roots: List[Dict[str, Any]], children: Dict[int, List[Dict[str, Any]]]
+) -> str:
+    """Render span records (live or re-parsed from JSONL) as a text tree."""
+    lines: List[str] = []
+
+    def emit(record: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_format_span_line(record))
+            child_prefix = ""
+        else:
+            connector = "`- " if is_last else "|- "
+            lines.append(prefix + connector + _format_span_line(record))
+            child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = children.get(record["id"], [])
+        for i, child in enumerate(kids):
+            emit(child, child_prefix, i == len(kids) - 1, False)
+
+    for root in roots:
+        emit(root, "", True, True)
+    return "\n".join(lines)
+
+
+# -- thread-local activation ---------------------------------------------------
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active on this thread, or ``None``."""
+    return getattr(_local, "tracer", None)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or ``None``."""
+    tracer = getattr(_local, "tracer", None)
+    if tracer is None or not tracer._stack:
+        return None
+    return tracer._stack[-1]
+
+
+def span(name: str, **attrs: Any):
+    """A child span of the current trace, or a shared no-op when inactive.
+
+    The inactive path is a single attribute lookup plus one function call —
+    the same guarantee ``count_op`` gives — so instrumenting a hot path
+    costs nothing measurable with telemetry off.
+    """
+    tracer = getattr(_local, "tracer", None)
+    if tracer is None:
+        return _NOOP
+    return Span(tracer, name, attrs)
+
+
+def record_bytes(direction: str, amount: int) -> None:
+    """Tally message bytes on the innermost open span (no-op when inactive)."""
+    tracer = getattr(_local, "tracer", None)
+    if tracer is not None and tracer._stack:
+        tracer._stack[-1].bytes_io[direction] += amount
+
+
+@contextmanager
+def tracing(name: str = "run", **attrs: Any) -> Iterator[Tracer]:
+    """Activate a fresh :class:`Tracer` with ``name`` as the root span.
+
+    Traces do not nest on one thread — a nested pipeline stage should open
+    a child :func:`span` instead (which :func:`repro.obs.pipeline_span`
+    does automatically).
+    """
+    if getattr(_local, "tracer", None) is not None:
+        raise ParameterError(
+            "a tracer is already active on this thread; open a span instead"
+        )
+    tracer = Tracer(name, attrs)
+    _local.tracer = tracer
+    try:
+        with tracer.root:
+            yield tracer
+    finally:
+        _local.tracer = None

@@ -26,8 +26,13 @@ from repro.net.oprf_messages import (
     OprfRequest,
     OprfResponse,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import metric_inc
+from repro.obs.trace import span
 
 __all__ = ["KeyGenService", "RateLimitExceeded"]
+
+_log = get_logger("keyservice")
 
 
 class RateLimitExceeded(ProtocolError):
@@ -69,6 +74,13 @@ class KeyGenService:
             budget = self._budgets[client]
         if budget.used >= self.max_requests:
             self.rejections += 1
+            metric_inc("smatch_keyservice_rejections_total")
+            _log.warning(
+                "rate_limit_exceeded",
+                client=client,
+                limit=self.max_requests,
+                window_seconds=self.window_seconds,
+            )
             raise RateLimitExceeded(
                 f"client {client!r} exceeded {self.max_requests} OPRF "
                 f"evaluations per {self.window_seconds}s window"
@@ -94,17 +106,19 @@ class KeyGenService:
                 request_id=message.request_id, modulus=pk.n, exponent=pk.e
             )
         if isinstance(message, OprfRequest):
-            self._check_budget(client, now)
-            try:
-                evaluated = self.oprf.evaluate_blinded(message.blinded)
-            except ParameterError as exc:
-                # crypto-layer range failure becomes a wire-protocol error:
-                # the client sent a blinded value outside [0, N)
-                raise ProtocolError(f"invalid OPRF request: {exc}") from exc
-            self.evaluations_served += 1
-            return OprfResponse(
-                request_id=message.request_id, evaluated=evaluated
-            )
+            with span("keyservice.evaluate", client=client):
+                self._check_budget(client, now)
+                try:
+                    evaluated = self.oprf.evaluate_blinded(message.blinded)
+                except ParameterError as exc:
+                    # crypto-layer range failure becomes a wire-protocol error:
+                    # the client sent a blinded value outside [0, N)
+                    raise ProtocolError(f"invalid OPRF request: {exc}") from exc
+                self.evaluations_served += 1
+                metric_inc("smatch_keyservice_evaluations_total")
+                return OprfResponse(
+                    request_id=message.request_id, evaluated=evaluated
+                )
         raise ProtocolError(
             f"key service cannot handle {type(message).__name__}"
         )

@@ -21,7 +21,8 @@ from repro.core.matching import score_table
 from repro.core.scheme import EncryptedProfile
 from repro.errors import MatchingError, ParameterError
 from repro.server.storage import ProfileStore
-from repro.utils.instrument import count_op
+from repro.obs.instrument import count_op
+from repro.obs.trace import span
 
 __all__ = ["ServerMatcher"]
 
@@ -44,10 +45,11 @@ class ServerMatcher:
         cached = self._sorted_cache.get(key_index)
         if cached is not None and cached[0] == membership:
             return cached[1]
-        chains = {uid: ep.chain for uid, ep in group.items()}
-        scores = score_table(chains, self._order_method)
-        count_op("server_sort")
-        ordered = sorted((score, uid) for uid, score in scores.items())
+        with span("server.sort", group_size=len(group)):
+            chains = {uid: ep.chain for uid, ep in group.items()}
+            scores = score_table(chains, self._order_method)
+            count_op("server_sort")
+            ordered = sorted((score, uid) for uid, score in scores.items())
         self._sorted_cache[key_index] = (membership, ordered)
         return ordered
 

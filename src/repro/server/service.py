@@ -22,10 +22,15 @@ from repro.net.messages import (
     ResultEntry,
     UploadMessage,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import metric_inc
+from repro.obs.trace import span
 from repro.server.matcher import ServerMatcher
 from repro.server.storage import ProfileStore
 
 __all__ = ["SMatchServer"]
+
+_log = get_logger("server")
 
 
 class SMatchServer:
@@ -42,22 +47,37 @@ class SMatchServer:
 
     def handle_upload(self, message: UploadMessage) -> None:
         """Store an uploaded encrypted profile."""
-        self.store.put(message.payload)
-        self.uploads_accepted += 1
+        with span("server.handle_upload", user=message.payload.user_id):
+            self.store.put(message.payload)
+            self.uploads_accepted += 1
+            metric_inc("smatch_server_uploads_total")
+            _log.debug(
+                "upload_stored",
+                user=message.payload.user_id,
+                chain_len=len(message.payload.chain),
+            )
 
     def handle_query(self, request: QueryRequest) -> QueryResult:
         """Run Match and assemble the result message."""
-        matches = self._match_ids(request)
-        entries = tuple(
-            ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
-            for uid in matches
-        )
-        self.queries_served += 1
-        return QueryResult(
-            query_id=request.query_id,
-            timestamp=request.timestamp,
-            entries=entries,
-        )
+        with span("server.handle_query", user=request.user_id):
+            matches = self._match_ids(request)
+            entries = tuple(
+                ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
+                for uid in matches
+            )
+            self.queries_served += 1
+            metric_inc("smatch_server_queries_total")
+            metric_inc("smatch_server_results_total", len(entries))
+            _log.debug(
+                "query_served",
+                user=request.user_id,
+                results=len(entries),
+            )
+            return QueryResult(
+                query_id=request.query_id,
+                timestamp=request.timestamp,
+                entries=entries,
+            )
 
     def handle_message(self, message: Message) -> Optional[Message]:
         """Dispatch any protocol message; returns the response if any."""

@@ -31,6 +31,8 @@ from repro.datasets.synthetic import ClusteredPopulation
 from repro.errors import ParameterError
 from repro.experiments.common import build_scheme
 from repro.net.messages import QueryRequest, UploadMessage
+from repro.obs import pipeline_span
+from repro.obs.trace import span
 from repro.server.service import SMatchServer
 from repro.utils.rand import SystemRandomSource
 
@@ -128,16 +130,17 @@ class MobileServiceSimulation:
 
     def _enroll(self, uid: int) -> bool:
         """(Re-)enroll a user; returns True when their key group changed."""
-        profile = self.profiles[uid]
-        previous = (
-            self.server.store.get(uid).key_index
-            if self.server.store.contains(uid)
-            else None
-        )
-        payload, key = self.scheme.enroll(profile)
-        self._keys[uid] = key
-        self.server.handle_upload(UploadMessage(payload=payload))
-        return previous is not None and previous != payload.key_index
+        with span("sim.enroll", user=uid):
+            profile = self.profiles[uid]
+            previous = (
+                self.server.store.get(uid).key_index
+                if self.server.store.contains(uid)
+                else None
+            )
+            payload, key = self.scheme.enroll(profile)
+            self._keys[uid] = key
+            self.server.handle_upload(UploadMessage(payload=payload))
+            return previous is not None and previous != payload.key_index
 
     def _drift(self, uid: int) -> None:
         profile = self.profiles[uid]
@@ -151,6 +154,10 @@ class MobileServiceSimulation:
 
     def step(self) -> StepMetrics:
         """Advance the simulation one step."""
+        with span("sim.step", step=self._clock):
+            return self._step()
+
+    def _step(self) -> StepMetrics:
         config = self.config
         metrics = StepMetrics(step=self._clock)
 
@@ -195,8 +202,13 @@ class MobileServiceSimulation:
 
     def run(self) -> List[StepMetrics]:
         """Run the configured number of steps; returns the full history."""
-        for _ in range(self.config.steps):
-            self.step()
+        with pipeline_span(
+            "sim.run",
+            users=self.config.num_users,
+            steps=self.config.steps,
+        ):
+            for _ in range(self.config.steps):
+                self.step()
         return self.history
 
     # -- summaries ------------------------------------------------------------------

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 
 
@@ -25,6 +28,11 @@ class TestParser:
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.users == 30 and args.steps == 10
+        assert args.obs is False and args.obs_dir is None
+
+    def test_obs_report_defaults(self):
+        args = build_parser().parse_args(["obs", "report"])
+        assert args.obs_command == "report" and args.dir is None
 
 
 class TestCommands:
@@ -55,3 +63,52 @@ class TestCommands:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "verified" in out or "verification" in out
+
+
+class TestObsFlow:
+    @pytest.fixture(autouse=True)
+    def _telemetry_off(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_simulate_obs_writes_artifacts_and_report_reads_them(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "artifacts"
+        code = main(
+            [
+                "simulate",
+                "--users",
+                "6",
+                "--steps",
+                "2",
+                "--obs-dir",
+                str(target),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        trace_lines = (
+            (target / "trace.jsonl").read_text().strip().splitlines()
+        )
+        names = {json.loads(line)["name"] for line in trace_lines}
+        for phase in (
+            "simulate",
+            "sim.run",
+            "sim.step",
+            "profile.build",
+            "keygen.oprf",
+            "scheme.encrypt",
+            "server.handle_upload",
+        ):
+            assert phase in names, f"missing span {phase}"
+        metrics = json.loads((target / "metrics.json").read_text())
+        # initial enrollment alone uploads every user once
+        assert metrics["counters"]["smatch_server_uploads_total"] >= 6
+
+        assert main(["obs", "report", "--dir", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "-- trace --" in out
+        assert "simulate" in out
+        assert "-- metrics --" in out

@@ -119,6 +119,63 @@ class TestSecureChannel:
         assert server.bytes_received == sent
 
 
+class TestNetMetrics:
+    """Recorded message sizes must match the net-layer metrics exactly."""
+
+    @pytest.fixture(autouse=True)
+    def _metrics(self):
+        from repro.obs.metrics import disable_metrics, enable_metrics
+
+        self.registry = enable_metrics()
+        yield
+        disable_metrics()
+
+    def test_transport_metrics_match_accounting(self):
+        net = InMemoryNetwork()
+        a = net.endpoint("a")
+        net.endpoint("b")
+        a.send("b", b"x" * 100)
+        a.send("b", b"y" * 300)
+        snap = self.registry.snapshot()
+        assert snap["counters"]["smatch_net_messages_total"] == net.messages_sent == 2
+        hist = snap["histograms"]["smatch_net_message_bytes"]
+        assert hist["count"] == net.messages_sent
+        assert hist["sum"] == net.bytes_sent == 400
+        # 100 <= 256 and 300 <= 1024: cumulative buckets reflect the sizes
+        assert hist["buckets"]["256"] == 1
+        assert hist["buckets"]["1024"] == 2
+
+    def test_channel_metrics_match_accounting(self):
+        net = InMemoryNetwork()
+        a = net.endpoint("client")
+        b = net.endpoint("server")
+        client, server = SecureChannel.pair(a, b, session_key=b"k")
+        sent = client.send(QueryRequest(query_id=1, timestamp=0, user_id=1))
+        server.recv()
+        snap = self.registry.snapshot()
+        assert snap["counters"]["smatch_channel_messages_total"] == 1
+        assert snap["histograms"]["smatch_channel_sent_bytes"]["sum"] == sent
+        assert snap["histograms"]["smatch_channel_sent_bytes"]["count"] == 1
+        assert (
+            snap["histograms"]["smatch_channel_received_bytes"]["sum"]
+            == server.bytes_received
+            == sent
+        )
+
+    def test_span_byte_tallies_match_wire_bytes(self):
+        from repro.obs.trace import tracing
+
+        net = InMemoryNetwork()
+        a = net.endpoint("client")
+        b = net.endpoint("server")
+        client, server = SecureChannel.pair(a, b, session_key=b"k")
+        with tracing("net") as tracer:
+            sent = client.send(QueryRequest(query_id=1, timestamp=0, user_id=1))
+            server.recv()
+        assert tracer.root.bytes_io["sent"] == sent == net.bytes_sent
+        assert tracer.root.bytes_io["received"] == sent
+
+
 class TestLatency:
     def test_transmission_time(self):
         model = LatencyModel(bandwidth_bps=1e6, rtt_s=0, per_message_overhead_bits=0)
@@ -145,3 +202,17 @@ class TestLatency:
 
     def test_paper_link_default(self):
         assert LatencyModel().bandwidth_bps == 53e6
+
+    def test_payload_plus_overhead_arithmetic(self):
+        model = LatencyModel(
+            bandwidth_bps=1e6, rtt_s=0, per_message_overhead_bits=1000
+        )
+        # (9000 payload + 2 * 1000 framing) bits over 1 Mbps
+        assert model.transmission_time_s(9000, messages=2) == pytest.approx(0.011)
+
+    def test_round_trip_includes_overhead_both_ways(self):
+        model = LatencyModel(
+            bandwidth_bps=1e6, rtt_s=0.01, per_message_overhead_bits=500
+        )
+        expected = 0.01 + (4000 + 500) / 1e6 + (6000 + 500) / 1e6
+        assert model.round_trip_time_s(4000, 6000) == pytest.approx(expected)

@@ -212,6 +212,83 @@ class TestSml005ExceptionHygiene:
         assert check(src) == []
 
 
+class TestSml006SecretLogging:
+    def test_secret_fstring_to_logger_flagged(self):
+        src = """\
+        def f(log, key):
+            log.info(f"derived {key}")
+        """
+        found = check(src)
+        assert codes(found) == ["SML006"]
+        assert "logging call" in found[0].message
+
+    def test_secret_kwarg_to_logger_flagged(self):
+        src = """\
+        def f(_log, mac_key):
+            _log.debug("derived", value=mac_key)
+        """
+        assert codes(check(src)) == ["SML006"]
+
+    def test_secret_method_receiver_flagged(self):
+        src = """\
+        def f(logger, key):
+            logger.warning("derived %s", key.hex())
+        """
+        assert codes(check(src)) == ["SML006"]
+
+    def test_self_logger_attribute_flagged(self):
+        src = """\
+        def f(self, tag):
+            self._log.error(f"bad tag {tag!r}")
+        """
+        assert codes(check(src)) == ["SML006"]
+
+    def test_secret_in_exception_message_flagged(self):
+        src = """\
+        def f(key):
+            raise ValueError(f"bad key {key}")
+        """
+        found = check(src)
+        assert codes(found) == ["SML006"]
+        assert "exception message" in found[0].message
+
+    def test_length_is_public_clean(self):
+        src = """\
+        def f(log, key):
+            log.info("derived key_len=%d", len(key))
+            raise ValueError(f"need 32 bytes, got {len(key)}")
+        """
+        assert check(src) == []
+
+    def test_public_names_clean(self):
+        src = """\
+        def f(log, payload):
+            log.info("stored", index=payload.key_index, user=payload.user_id)
+        """
+        assert check(src) == []
+
+    def test_non_logger_receiver_clean(self):
+        src = """\
+        def f(store, key):
+            store.info(key)
+        """
+        assert check(src) == []
+
+    def test_exception_without_secret_clean(self):
+        src = """\
+        def f(client):
+            raise ValueError(f"client {client!r} over budget")
+        """
+        assert check(src) == []
+
+    def test_suppression(self):
+        src = (
+            "def f(log, key):\n"
+            "    log.info(f\"{key}\")  # smatch-lint: disable=SML006\n"
+        )
+        assert check(src) == []
+
+
 class TestSuppressionDirectives:
     def test_file_wide_scope(self):
         src = (
@@ -303,5 +380,5 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("SML001", "SML002", "SML003", "SML004", "SML005"):
+        for code in ("SML001", "SML002", "SML003", "SML004", "SML005", "SML006"):
             assert code in out

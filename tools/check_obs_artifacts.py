@@ -1,0 +1,171 @@
+"""CI gate: validate the telemetry artifacts of an instrumented run.
+
+Usage::
+
+    python -m repro simulate --users 8 --steps 2 --obs-dir obs-artifacts
+    python -m tools.check_obs_artifacts obs-artifacts
+
+Checks that ``trace.jsonl`` parses line-by-line, that parent links resolve
+to earlier spans, that durations and tallies are sane non-negative
+integers, and that the spans cover the paper's pipeline phases (profile
+build, entropy increase, fuzzy keygen + OPRF, OPE encryption, server
+upload handling, verification).  Also checks ``metrics.json`` /
+``metrics.prom`` exist and agree on the upload counter.
+
+Exit codes: 0 all checks pass, 1 a check failed, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+# Every phase the Section-III pipeline must traverse in one simulation
+# round.  Query-dependent spans (server.handle_query, match.score_table)
+# are deliberately absent: queries are probabilistic in the simulation.
+REQUIRED_SPANS = (
+    "simulate",
+    "sim.run",
+    "sim.step",
+    "profile.build",
+    "scheme.enroll",
+    "keygen.fuzzy_extract",
+    "keygen.oprf",
+    "scheme.init_data",
+    "scheme.encrypt",
+    "ope.encrypt",
+    "verification.auth",
+    "server.handle_upload",
+)
+
+_SPAN_INT_FIELDS = ("start_us", "duration_us")
+
+
+def check_trace(path: Path, problems: List[str]) -> None:
+    """Validate trace.jsonl structure, parent links, and phase coverage."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        problems.append(f"{path}: unreadable ({exc})")
+        return
+    if not lines:
+        problems.append(f"{path}: empty trace")
+        return
+
+    spans = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: invalid JSON ({exc})")
+            return
+        spans.append(record)
+
+    ids = set()
+    names = set()
+    for lineno, record in enumerate(spans, start=1):
+        where = f"{path}:{lineno}"
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: span has no name")
+            continue
+        names.add(name)
+        span_id = record.get("id")
+        if not isinstance(span_id, int):
+            problems.append(f"{where}: span {name!r} has no integer id")
+        else:
+            ids.add(span_id)
+        parent = record.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(
+                f"{where}: span {name!r} parent {parent!r} does not "
+                "resolve to an earlier span"
+            )
+        for field in _SPAN_INT_FIELDS:
+            value = record.get(field)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}: span {name!r} field {field}={value!r} is not "
+                    "a non-negative integer"
+                )
+        for tally in ("ops", "bytes"):
+            mapping = record.get(tally, {})
+            if not isinstance(mapping, dict):
+                problems.append(f"{where}: span {name!r} {tally} is not a mapping")
+                continue
+            for op_name, count in mapping.items():
+                if not isinstance(count, int) or count < 0:
+                    problems.append(
+                        f"{where}: span {name!r} {tally}[{op_name!r}]="
+                        f"{count!r} is not a non-negative integer"
+                    )
+
+    roots = [s for s in spans if s.get("parent") is None]
+    if len(roots) != 1:
+        problems.append(f"{path}: expected exactly one root span, found {len(roots)}")
+
+    missing = [phase for phase in REQUIRED_SPANS if phase not in names]
+    if missing:
+        problems.append(
+            f"{path}: pipeline phases missing from trace: {', '.join(missing)}"
+        )
+
+
+def check_metrics(directory: Path, problems: List[str]) -> None:
+    """Validate metrics.json / metrics.prom exist and agree."""
+    json_path = directory / "metrics.json"
+    prom_path = directory / "metrics.prom"
+    try:
+        snapshot = json.loads(json_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"{json_path}: unreadable or invalid ({exc})")
+        return
+    counters = snapshot.get("counters", {})
+    uploads = counters.get("smatch_server_uploads_total", 0)
+    if not isinstance(uploads, int) or uploads < 1:
+        problems.append(
+            f"{json_path}: smatch_server_uploads_total={uploads!r}; an "
+            "instrumented simulation round must record at least one upload"
+        )
+    try:
+        prom_text = prom_path.read_text()
+    except OSError as exc:
+        problems.append(f"{prom_path}: unreadable ({exc})")
+        return
+    expected_line = f"smatch_server_uploads_total {uploads}"
+    if expected_line not in prom_text:
+        problems.append(
+            f"{prom_path}: expected exposition line {expected_line!r} "
+            "matching metrics.json"
+        )
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print(
+            "usage: python -m tools.check_obs_artifacts <obs-dir>",
+            file=sys.stderr,
+        )
+        return 2
+    directory = Path(argv[0])
+    trace_path = directory / "trace.jsonl"
+    if not trace_path.exists():
+        print(f"error: {trace_path} does not exist", file=sys.stderr)
+        return 1
+
+    problems: List[str] = []
+    check_trace(trace_path, problems)
+    check_metrics(directory, problems)
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: {trace_path} covers all {len(REQUIRED_SPANS)} pipeline phases")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -38,6 +38,13 @@ _PUBLIC_NAME_RE = re.compile(
     re.IGNORECASE,
 )
 
+#: Identifier segments that mark a receiver as a logger for SML006:
+#: ``_log``, ``logger``, ``logging``, ``audit_log`` all hit.
+_LOGGER_NAME_RE = re.compile(
+    r"(?:^|_)(?:log|logs|logger|loggers|logging)(?:_|$)",
+    re.IGNORECASE,
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -74,6 +81,13 @@ class LintConfig:
     #: SML005 — paths exempt from the assert ban (test code asserts freely).
     assert_exempt_fragments: Tuple[str, ...] = ("tests/", "conftest.py")
 
+    #: SML006 — receiver-name heuristic for logger objects.
+    logger_name_re: Pattern[str] = field(default=_LOGGER_NAME_RE)
+
+    #: SML006 — calls whose result is public even when fed secret values
+    #: (a length or type name leaks no key material).
+    value_laundering_calls: Tuple[str, ...] = ("len", "type", "bool", "isinstance")
+
     def is_rand_facade(self, posix_path: str) -> bool:
         """True when ``posix_path`` is the randomness facade module."""
         return posix_path.endswith(self.rand_facade_suffixes)
@@ -95,6 +109,10 @@ class LintConfig:
         if self.public_name_re.search(identifier):
             return False
         return bool(self.secret_name_re.search(identifier))
+
+    def is_logger_name(self, identifier: str) -> bool:
+        """True when an identifier plausibly names a logger (SML006)."""
+        return bool(self.logger_name_re.search(identifier))
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -1,4 +1,4 @@
-"""The five smatch-lint rules.
+"""The six smatch-lint rules.
 
 Each rule is a class with a ``code``, a one-line summary (the first docstring
 line, shown by ``--list-rules``), and a ``check`` method yielding
@@ -289,12 +289,119 @@ class ExceptionHygieneRule(Rule):
                 )
 
 
+class SecretLoggingRule(Rule):
+    """SML006: no secret material in log or exception messages.
+
+    Telemetry and tracebacks leave the process — they land in files,
+    collectors, and bug reports the Section-IV threat model treats as
+    adversary-readable.  A key, tag, or OPRF output interpolated into a log
+    record or an exception string therefore *is* the information leakage
+    the scheme exists to prevent.  The rule flags secret-named identifiers
+    (the SML002 heuristics) reaching a logging call (``logger.info(...)``
+    and friends, including via f-strings) or a ``raise``'d exception
+    constructor.  Lengths and types are public (``len(key)`` is fine);
+    log *about* secret material via sizes, hashes of public indexes, or
+    the :class:`repro.obs.logs.Redactor` facade.
+    """
+
+    code = "SML006"
+
+    #: stdlib-logging emit methods (SML006 flags their arguments).
+    _LOG_METHODS = frozenset(
+        {"debug", "info", "warning", "error", "critical", "exception", "log"}
+    )
+
+    @staticmethod
+    def _receiver_name(func: ast.expr) -> Optional[str]:
+        """The identifier a method call's receiver ultimately names.
+
+        ``_log.debug`` -> ``_log``; ``self._log.debug`` -> ``_log``.
+        """
+        if isinstance(func, ast.Attribute):
+            obj = func.value
+            if isinstance(obj, ast.Attribute):
+                return obj.attr
+            if isinstance(obj, ast.Name):
+                return obj.id
+        return None
+
+    def _secret_names_in(
+        self, node: ast.expr, ctx: RuleContext
+    ) -> Iterator[Tuple[str, ast.expr]]:
+        """Secret-named identifiers reachable in a message expression.
+
+        Descends through f-strings, formatting, and ordinary calls; stops
+        at value-laundering calls (``len``, ``type``, ...) whose results
+        are public regardless of their inputs.
+        """
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ctx.config.value_laundering_calls
+            ):
+                return
+            # the receiver of a method call may itself be secret
+            # (f"{key.hex()}"), so descend into the func too
+            for child in [node.func, *node.args, *[k.value for k in node.keywords]]:
+                yield from self._secret_names_in(child, ctx)
+            return
+        if isinstance(node, ast.Name):
+            if ctx.config.is_secret_name(node.id):
+                yield node.id, node
+            return
+        if isinstance(node, ast.Attribute):
+            if ctx.config.is_secret_name(node.attr):
+                yield node.attr, node
+            else:
+                yield from self._secret_names_in(node.value, ctx)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                yield from self._secret_names_in(child, ctx)
+
+    def _message_args(self, call: ast.Call) -> List[ast.expr]:
+        return [*call.args, *[k.value for k in call.keywords]]
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in self._LOG_METHODS:
+                    continue
+                receiver = self._receiver_name(node.func)
+                if receiver is None or not ctx.config.is_logger_name(receiver):
+                    continue
+                for arg in self._message_args(node):
+                    for name, at_node in self._secret_names_in(arg, ctx):
+                        line, col = _at(at_node)
+                        yield (
+                            line,
+                            col,
+                            f"secret-looking value {name!r} reaches a logging "
+                            "call — log a length or redacted form instead",
+                        )
+            elif isinstance(node, ast.Raise):
+                exc = node.exc
+                if not isinstance(exc, ast.Call):
+                    continue
+                for arg in self._message_args(exc):
+                    for name, at_node in self._secret_names_in(arg, ctx):
+                        line, col = _at(at_node)
+                        yield (
+                            line,
+                            col,
+                            f"secret-looking value {name!r} interpolated into "
+                            "an exception message — exceptions leave the "
+                            "process; describe the failure without the value",
+                        )
+
+
 RULES: Tuple[Type[Rule], ...] = (
     RandomImportRule,
     SecretEqualityRule,
     FloatArithmeticRule,
     ImportLayeringRule,
     ExceptionHygieneRule,
+    SecretLoggingRule,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)
