@@ -12,7 +12,7 @@ profile.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.keygen import ProfileKey
 from repro.core.profile import Profile
@@ -22,6 +22,8 @@ from repro.crypto.rsa import RSAPublicKey
 from repro.errors import ProtocolError
 from repro.net.channel import SecureChannel
 from repro.net.oprf_messages import (
+    BatchedBlindEvalRequest,
+    BatchedBlindEvalResponse,
     OprfKeyInfo,
     OprfKeyInfoRequest,
     OprfRequest,
@@ -115,3 +117,52 @@ class RemoteKeygenClient:
         return ProfileKey(
             key=key, index=sha256(b"smatch-key-index", key)
         )
+
+    # -- batched round -------------------------------------------------------------
+
+    def begin_batch_derivation(self, profiles: Sequence[Profile]):
+        """Blind every profile's key material; one wire round for the batch.
+
+        Sends a single :class:`BatchedBlindEvalRequest` carrying all blinded
+        values (amortizing per-message framing and channel overhead across
+        the batch) and returns opaque state for
+        :meth:`finish_batch_derivation`.
+        """
+        if not profiles:
+            raise ProtocolError("batch derivation needs at least one profile")
+        oprf_client = RsaOprfClient(self.public_key, rng=self._rng)
+        blindings = [
+            oprf_client.blind(self.extractor.key_material(p.values))
+            for p in profiles
+        ]
+        request_id = self._next_id()
+        self._channel.send(
+            BatchedBlindEvalRequest(
+                request_id=request_id,
+                blinded=tuple(b.blinded for b in blindings),
+            )
+        )
+        return request_id, oprf_client, blindings
+
+    def finish_batch_derivation(self, state) -> List[ProfileKey]:
+        """Receive the batched evaluations; keys come back in batch order."""
+        request_id, oprf_client, blindings = state
+        message = self._channel.recv()
+        if not isinstance(message, BatchedBlindEvalResponse):
+            raise ProtocolError(
+                f"expected BatchedBlindEvalResponse, got "
+                f"{type(message).__name__}"
+            )
+        if message.request_id != request_id:
+            raise ProtocolError("batched OPRF response id mismatch")
+        if len(message.evaluated) != len(blindings):
+            raise ProtocolError(
+                "batched OPRF response count disagrees with the request"
+            )
+        keys = []
+        for blinding, evaluated in zip(blindings, message.evaluated):
+            key = oprf_client.finalize(blinding, evaluated)
+            keys.append(
+                ProfileKey(key=key, index=sha256(b"smatch-key-index", key))
+            )
+        return keys

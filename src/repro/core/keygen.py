@@ -84,11 +84,14 @@ class ProfileKeygen:
         self,
         profile: Profile,
         erasures: Optional[Sequence[int]] = None,
+        rng: Optional[SystemRandomSource] = None,
     ) -> ProfileKey:
         """Run the full Keygen pipeline for a profile.
 
         ``erasures`` optionally marks unreliable attribute positions for the
         erasure-augmented decoding mode (see :class:`FuzzyExtractor`).
+        ``rng`` overrides the instance randomness source for this one call
+        (batch enrollment hands every profile its own deterministic source).
         """
         with span("keygen.derive", user=profile.user_id):
             count_op("keygen")
@@ -97,7 +100,9 @@ class ProfileKeygen:
                     profile.values, erasures=erasures
                 )
             with span("keygen.oprf"):
-                client = RsaOprfClient(self._oprf_server.public_key, rng=self._rng)
+                client = RsaOprfClient(
+                    self._oprf_server.public_key, rng=rng or self._rng
+                )
                 key = client.evaluate(k_prime, self._oprf_server)
             index = sha256(b"smatch-key-index", key)
             return ProfileKey(key=key, index=index)

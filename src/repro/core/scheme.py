@@ -16,8 +16,9 @@ message's payload.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.chaining import AttributeChainer
 from repro.core.entropy import BigJumpMapper
@@ -25,16 +26,35 @@ from repro.core.keygen import ProfileKey, ProfileKeygen
 from repro.core.matching import knn_match, max_distance_match
 from repro.core.profile import Profile, ProfileSchema
 from repro.core.verification import AuthInfo, Verifier
+from repro.crypto.kdf import sha256
 from repro.crypto.ope import OPE, OpeParams
+from repro.crypto.ope_cache import OpeNodeCache
 from repro.crypto.oprf import RsaOprfServer
 from repro.errors import ParameterError
 from repro.ntheory.groups import SchnorrGroup
 from repro.rs.fuzzy import FuzzyParams
 from repro.obs.instrument import count_op
+from repro.obs.metrics import metric_inc
 from repro.obs.trace import span
 from repro.utils.rand import SystemRandomSource
 
-__all__ = ["SMatchParams", "EncryptedProfile", "SMatch"]
+__all__ = ["SMatchParams", "EncryptedProfile", "SMatch", "profile_enroll_seed"]
+
+
+def profile_enroll_seed(seed: int, user_id: int) -> int:
+    """The per-profile RNG seed of a seeded batch enrollment.
+
+    A pure function of ``(seed, user_id)`` so the enrollment of one profile
+    is independent of batch composition, chunking, and worker scheduling —
+    the invariant that makes ``enroll_population(workers=N, seed=s)``
+    byte-identical for every ``N``.
+    """
+    digest = sha256(
+        b"smatch-enroll-seed",
+        repr(int(seed)).encode(),
+        repr(int(user_id)).encode(),
+    )
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -134,6 +154,7 @@ class SMatch:
         mapper: Optional[BigJumpMapper] = None,
         group: Optional[SchnorrGroup] = None,
         rng: Optional[SystemRandomSource] = None,
+        ope_cache: Union[OpeNodeCache, bool, None] = None,
     ) -> None:
         self.params = params
         self._rng = rng or SystemRandomSource()
@@ -147,21 +168,39 @@ class SMatch:
             params.fuzzy_params, self.oprf_server, rng=self._rng
         )
         self.verifier = Verifier(group)
+        # ope_cache: None -> a private default cache, False -> caching off,
+        # an OpeNodeCache -> shared with the caller (e.g. with the server's
+        # score_table path, or across SMatch instances).  Cached output is
+        # bit-identical to uncached, so this is a pure speed knob.
+        if ope_cache is False:
+            self.ope_cache: Optional[OpeNodeCache] = None
+        elif ope_cache is None or ope_cache is True:
+            self.ope_cache = OpeNodeCache()
+        else:
+            self.ope_cache = ope_cache
 
     # -- Definition 5 algorithms ------------------------------------------------
 
-    def keygen(self, profile: Profile) -> ProfileKey:
+    def keygen(
+        self, profile: Profile, rng: Optional[SystemRandomSource] = None
+    ) -> ProfileKey:
         """``Kup <- Keygen(Au)``: RSD + H + RSA-OPRF."""
-        return self.keygen_.derive(profile)
+        return self.keygen_.derive(profile, rng=rng)
 
-    def init_data(self, profile: Profile) -> List[int]:
+    def init_data(
+        self, profile: Profile, rng: Optional[SystemRandomSource] = None
+    ) -> List[int]:
         """``Mu <- InitData(Au)``: the entropy-increase step (one-to-N)."""
         with span("scheme.init_data", attributes=len(profile.values)):
             count_op("init_data")
-            return self.mapper.map_profile(profile.values, rng=self._rng)
+            return self.mapper.map_profile(profile.values, rng=rng or self._rng)
 
     def encrypt(
-        self, profile: Profile, key: ProfileKey, mapped: Optional[Sequence[int]] = None
+        self,
+        profile: Profile,
+        key: ProfileKey,
+        mapped: Optional[Sequence[int]] = None,
+        rng: Optional[SystemRandomSource] = None,
     ) -> Tuple[int, ...]:
         """``Cu <- Enc(Mu)``: chain in key-derived random order, then OPE.
 
@@ -169,25 +208,32 @@ class SMatch:
         ``E(A'_1) || ... || E(A'_d)``.
         """
         if mapped is None:
-            mapped = self.init_data(profile)
+            mapped = self.init_data(profile, rng=rng)
         with span("scheme.encrypt", attributes=self.params.num_attributes):
             chainer = AttributeChainer(
                 key.subkey(b"chain"),
                 self.params.num_attributes,
                 self.params.plaintext_bits,
             )
-            ope = OPE(key.subkey(b"ope"), self.params.ope_params)
+            ope = OPE(
+                key.subkey(b"ope"), self.params.ope_params, cache=self.ope_cache
+            )
             chained = chainer.chain(list(mapped))
             return tuple(ope.encrypt(v) for v in chained)
 
     def auth(
-        self, profile: Profile, key: ProfileKey, secret: Optional[int] = None
+        self,
+        profile: Profile,
+        key: ProfileKey,
+        secret: Optional[int] = None,
+        rng: Optional[SystemRandomSource] = None,
     ) -> AuthInfo:
         """``ciph_u <- Auth(u)``: the verification commitment."""
         with span("scheme.auth", user=profile.user_id):
+            rng = rng or self._rng
             if secret is None:
-                secret = self.verifier.make_secret(self._rng)
-            return self.verifier.auth(profile.user_id, secret, key, rng=self._rng)
+                secret = self.verifier.make_secret(rng)
+            return self.verifier.auth(profile.user_id, secret, key, rng=rng)
 
     def verify(self, auth_info: AuthInfo, key: ProfileKey) -> bool:
         """``b <- Vf(ID_v, ciph_v, u)``: check a claimed match."""
@@ -237,17 +283,23 @@ class SMatch:
     # -- convenience -----------------------------------------------------------
 
     def enroll(
-        self, profile: Profile, secret: Optional[int] = None
+        self,
+        profile: Profile,
+        secret: Optional[int] = None,
+        rng: Optional[SystemRandomSource] = None,
     ) -> Tuple[EncryptedProfile, ProfileKey]:
         """Full client pipeline: Keygen + InitData + Enc + Auth.
 
         Returns the upload payload and the user's profile key (which the
-        user retains for querying and verification).
+        user retains for querying and verification).  ``rng`` replaces the
+        instance randomness source for this one enrollment — the hook batch
+        enrollment uses to make each profile's upload a pure function of its
+        per-profile seed.
         """
         with span("scheme.enroll", user=profile.user_id):
-            key = self.keygen(profile)
-            chain = self.encrypt(profile, key)
-            auth_info = self.auth(profile, key, secret)
+            key = self.keygen(profile, rng=rng)
+            chain = self.encrypt(profile, key, rng=rng)
+            auth_info = self.auth(profile, key, secret, rng=rng)
             payload = EncryptedProfile(
                 user_id=profile.user_id,
                 key_index=key.index,
@@ -257,13 +309,84 @@ class SMatch:
             return payload, key
 
     def enroll_population(
-        self, profiles: Sequence[Profile]
+        self,
+        profiles: Sequence[Profile],
+        workers: int = 1,
+        seed: Optional[int] = None,
+        chunk_size: Optional[int] = None,
     ) -> Tuple[Dict[int, EncryptedProfile], Dict[int, ProfileKey]]:
-        """Enroll many users; returns (uploads by id, keys by id)."""
+        """Enroll many users; returns (uploads by id, keys by id).
+
+        ``workers > 1`` enrolls profiles on a :class:`ThreadPoolExecutor` in
+        chunks of ``chunk_size`` (default: one balanced slice per worker).
+        Each profile is enrolled under its own randomness source whose seed
+        is a pure function of ``(seed, user_id)`` (:func:`profile_enroll_seed`),
+        so a seeded run produces byte-identical uploads for *any* worker
+        count or chunking — the property ``tests/test_scheme_batch.py``
+        pins.  With ``seed=None`` the per-profile seeds are drawn from the
+        scheme RNG up front, which keeps the parallel path deterministic
+        under a seeded ``SMatch`` and keeps worker threads off the shared
+        (non-thread-safe) source.
+
+        ``workers=1, seed=None`` is the legacy fully-sequential path using
+        the instance RNG directly, preserved bit-for-bit for existing
+        seeded callers.
+        """
+        if workers < 1:
+            raise ParameterError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ParameterError("chunk_size must be >= 1")
+        profiles = list(profiles)
         uploads: Dict[int, EncryptedProfile] = {}
         keys: Dict[int, ProfileKey] = {}
-        for profile in profiles:
-            payload, key = self.enroll(profile)
-            uploads[profile.user_id] = payload
-            keys[profile.user_id] = key
+        metric_inc("smatch_enroll_batch_profiles_total", len(profiles))
+
+        if workers == 1 and seed is None:
+            # legacy path: one shared stream, profile order significant
+            for profile in profiles:
+                payload, key = self.enroll(profile)
+                uploads[profile.user_id] = payload
+                keys[profile.user_id] = key
+            return uploads, keys
+
+        if seed is not None:
+            rngs = [
+                SystemRandomSource(profile_enroll_seed(seed, p.user_id))
+                for p in profiles
+            ]
+        else:
+            # unseeded parallel run: draw per-profile seeds sequentially so
+            # the result is still deterministic under a seeded SMatch and no
+            # worker shares the instance source
+            rngs = [
+                SystemRandomSource(self._rng.getrandbits(64)) for _ in profiles
+            ]
+
+        indexed = list(enumerate(profiles))
+        if chunk_size is None:
+            chunk_size = max(1, (len(profiles) + workers - 1) // max(workers, 1))
+        chunks = [
+            indexed[start : start + chunk_size]
+            for start in range(0, len(indexed), chunk_size)
+        ]
+
+        def enroll_chunk(
+            chunk: List[Tuple[int, Profile]]
+        ) -> List[Tuple[int, EncryptedProfile, ProfileKey]]:
+            out = []
+            for pos, profile in chunk:
+                payload, key = self.enroll(profile, rng=rngs[pos])
+                out.append((profile.user_id, payload, key))
+            return out
+
+        if workers == 1:
+            results = [enroll_chunk(chunk) for chunk in chunks]
+        else:
+            metric_inc("smatch_enroll_batch_chunks_total", len(chunks))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(enroll_chunk, chunks))
+        for chunk_result in results:
+            for user_id, payload, key in chunk_result:
+                uploads[user_id] = payload
+                keys[user_id] = key
         return uploads, keys

@@ -29,9 +29,11 @@ and both modes degenerate to it; the default adds 16 bits of expansion.
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.crypto.ope_cache import OpeNodeCache
 from repro.errors import CiphertextError, KeyError_, ParameterError
 from repro.obs.instrument import count_op
 from repro.obs.trace import span
@@ -85,49 +87,94 @@ class OpeParams:
         return 1 << self.ciphertext_bits
 
 
+def _hypergeometric_logpmf(k: int, total: int, good: int, draws: int) -> float:
+    """Log-PMF of Hypergeometric(total, good, draws) via log-gamma."""
+    return (
+        math.lgamma(good + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(good - k + 1)
+        + math.lgamma(total - good + 1)
+        - math.lgamma(draws - k + 1)
+        - math.lgamma(total - good - draws + k + 1)
+        - (
+            math.lgamma(total + 1)
+            - math.lgamma(draws + 1)
+            - math.lgamma(total - draws + 1)
+        )
+    )
+
+
 def _hypergeometric_ppf(u: float, total: int, good: int, draws: int) -> int:
     """Inverse CDF of Hypergeometric(total, good, draws) at ``u``.
 
-    Walks the PMF recurrence from the mode outward is unnecessary here —
-    ``draws`` is bounded by the reference-mode domain cap, so a linear CDF
-    walk from the lower support end is fine and exact in float precision.
+    A linear CDF walk from the lower support end, with the PMF advanced by
+    the one-multiply/one-divide ratio recurrence
+
+        P(k+1) = P(k) * (good - k)(draws - k)
+                      / ((k + 1)(total - good - draws + k + 1))
+
+    instead of six log-gamma evaluations per step.  Only the first term (and
+    terms in the far tail below the normal float range, where the unimodal
+    PMF climbs back toward representability) pays the log-gamma price, so
+    the walk costs O(range) cheap float ops — the walk length itself is
+    bounded by the reference-mode domain cap on ``OpeParams``.
     """
     lo = max(0, draws - (total - good))
     hi = min(draws, good)
-    # PMF via log-gamma for stability
-    def logpmf(k: int) -> float:
-        return (
-            math.lgamma(good + 1)
-            - math.lgamma(k + 1)
-            - math.lgamma(good - k + 1)
-            + math.lgamma(total - good + 1)
-            - math.lgamma(draws - k + 1)
-            - math.lgamma(total - good - draws + k + 1)
-            - (
-                math.lgamma(total + 1)
-                - math.lgamma(draws + 1)
-                - math.lgamma(total - draws + 1)
-            )
-        )
-
-    acc = 0.0
-    for k in range(lo, hi + 1):
-        acc += math.exp(logpmf(k))
+    term = math.exp(_hypergeometric_logpmf(lo, total, good, draws))
+    acc = term
+    if u <= acc:
+        return lo
+    for k in range(lo, hi):
+        if term < sys.float_info.min:
+            # far-tail underflow: a zero or subnormal term carries almost no
+            # significant bits, and the recurrence would drag that error
+            # through the rest of the walk — re-anchor from the exact
+            # log-PMF until the mass is back in the normal float range
+            term = math.exp(_hypergeometric_logpmf(k + 1, total, good, draws))
+        else:
+            term *= (good - k) * (draws - k)
+            term /= (k + 1) * (total - good - draws + k + 1)
+        acc += term
         if u <= acc:
-            return k
+            return k + 1
     return hi
 
 
 class OPE:
-    """Deterministic order-preserving encryption under a symmetric key."""
+    """Deterministic order-preserving encryption under a symmetric key.
+
+    ``cache`` optionally memoizes node-split and leaf-draw results in an
+    :class:`~repro.crypto.ope_cache.OpeNodeCache`.  Because both draws are
+    pure functions of ``(key, params, bounds)``, cached output is
+    bit-for-bit identical to the uncached derivation; the cache may be
+    shared across OPE instances (entries are namespaced by a one-way
+    digest of key and parameters, so distinct key groups never mix).
+    """
 
     KEY_SIZE = 32
 
-    def __init__(self, key: bytes, params: OpeParams) -> None:
+    def __init__(
+        self,
+        key: bytes,
+        params: OpeParams,
+        cache: Optional[OpeNodeCache] = None,
+    ) -> None:
         if len(key) < 16:
             raise KeyError_("OPE key must be at least 16 bytes")
         self._key = bytes(key)
         self.params = params
+        self._cache = cache
+        if cache is not None:
+            # one-way, parameter-bound namespace: shared caches never leak
+            # entries across key groups or across parameterizations, and
+            # never hold raw key material
+            label = "smatch-ope-cache-ns|{}|{}|{}".format(
+                params.split, params.plaintext_bits, params.expansion_bits
+            ).encode()
+            self._cache_ns = DeterministicStream(self._key, label).read(16)
+        else:
+            self._cache_ns = b""
 
     # -- internal: pseudorandom choices ---------------------------------------
 
@@ -153,12 +200,28 @@ class OPE:
         hi = rhi - right_need
         if lo == hi:
             return lo
+        cache = self._cache
+        if cache is not None:
+            token = (self._cache_ns, 0, dlo, dhi, rlo, rhi)
+            hit = cache.get(token)
+            if hit is not None:
+                return hit
+        rmid = self._derive_split(dlo, dhi, rlo, rhi, lo, hi)
+        if cache is not None:
+            cache.put(token, rmid)
+        return rmid
+
+    def _derive_split(
+        self, dlo: int, dhi: int, rlo: int, rhi: int, lo: int, hi: int
+    ) -> int:
+        """The HMAC derivation of a node split (the uncached ground truth)."""
         stream = self._node_stream(b"node", (dlo, dhi, rlo, rhi))
         if self.params.split == "uniform":
             return stream.randint(lo, hi)
         # Hypergeometric: of the (rhi-rlo+1) range values, the left domain
         # half receives `left_extra` of the slack positions according to the
         # random-OPF law.
+        left_need = (dlo + dhi) // 2 - dlo + 1
         total = rhi - rlo + 1
         draws = left_need  # domain points on the left
         domain = (dhi - dlo + 1)
@@ -174,8 +237,17 @@ class OPE:
     def _leaf_value(self, m: int, rlo: int, rhi: int) -> int:
         if rlo == rhi:
             return rlo
+        cache = self._cache
+        if cache is not None:
+            token = (self._cache_ns, 1, m, 0, rlo, rhi)
+            hit = cache.get(token)
+            if hit is not None:
+                return hit
         stream = self._node_stream(b"leaf", (m, m, rlo, rhi))
-        return stream.randint(rlo, rhi)
+        value = stream.randint(rlo, rhi)
+        if cache is not None:
+            cache.put(token, value)
+        return value
 
     # -- public API --------------------------------------------------------------
 
@@ -242,6 +314,7 @@ class AdaptiveOPE(OPE):
         measured_entropy: float,
         security_margin: int = 16,
         split: str = "uniform",
+        cache: Optional[OpeNodeCache] = None,
     ) -> "AdaptiveOPE":
         """Build an OPE whose range adapts to the measured entropy."""
         if measured_entropy < 0:
@@ -255,4 +328,4 @@ class AdaptiveOPE(OPE):
             expansion_bits=expansion,
             split=split,
         )
-        return cls(key, params)
+        return cls(key, params, cache=cache)

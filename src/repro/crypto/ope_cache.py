@@ -1,0 +1,137 @@
+"""Memoization of OPE descent nodes (the hot-path cache of docs/PERFORMANCE.md).
+
+Every OPE operation — client-side ``encrypt`` during enrollment, server-side
+``decrypt`` in the naive baseline, ``score_table`` rebuilds in the ablations —
+walks the same binary descent over the plaintext domain, and at every node the
+pseudorandom split point is a **pure function** of ``(key, dlo, dhi, rlo,
+rhi)``.  S-MATCH makes this worth caching twice over:
+
+* a whole similarity cluster shares one profile key, hence one OPE subkey, so
+  *every member's* descents traverse the same top levels of the tree;
+* a single profile encrypts ``d`` attribute values under that one subkey, so
+  even one enrollment revisits the upper nodes ``d`` times.
+
+:class:`OpeNodeCache` is a bounded, thread-safe LRU over node-split and
+leaf-draw results.  One cache instance can back any number of :class:`OPE`
+instances — including instances under *different* keys: entries are
+namespaced by a one-way digest of ``(key, params)``, so results under one key
+group can never be served to another, and the cache itself never stores raw
+key material.
+
+Correctness contract: a cache hit returns exactly the integer the uncached
+HMAC derivation would produce (the value *is* that derivation's output,
+stored), so cached and uncached OPE are bit-for-bit identical in both the
+``uniform`` and ``hypergeometric`` split modes.  Tests enforce this
+property; see ``tests/test_ope_cache.py``.
+
+Metrics (flushed lazily so the per-node hot path never takes the registry
+lock): ``smatch_ope_cache_hits_total``, ``smatch_ope_cache_misses_total``,
+``smatch_ope_cache_evictions_total``, and the ``smatch_ope_cache_entries``
+gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.obs.metrics import metric_inc, metric_set
+
+__all__ = ["OpeNodeCache", "DEFAULT_CACHE_CAPACITY"]
+
+#: Default number of memoized nodes.  A 64-bit descent touches 64 nodes per
+#: ciphertext; 2**16 entries hold the full working set of hundreds of
+#: same-cluster enrollments at a few tens of MB.
+DEFAULT_CACHE_CAPACITY = 1 << 16
+
+#: Flush accumulated hit/miss/eviction deltas to the metrics registry every
+#: this many cache operations (keeps the hot path free of registry locks).
+_FLUSH_INTERVAL = 4096
+
+CacheToken = Tuple[bytes, int, int, int, int, int]
+
+
+class OpeNodeCache:
+    """Bounded LRU over OPE node-split and leaf-draw results.
+
+    ``capacity`` bounds the number of stored entries; ``capacity=0`` is a
+    legal "always miss" cache (useful to keep one code path in callers).
+    All methods are safe to call from multiple enrollment workers at once.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise ParameterError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheToken, int]" = OrderedDict()
+        self._lock = threading.Lock()
+        # lifetime tallies (ints only; flushed to the metrics registry)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._unflushed = 0
+        self._flushed_hits = 0
+        self._flushed_misses = 0
+        self._flushed_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- hot path ----------------------------------------------------------------
+
+    def get(self, token: CacheToken) -> Optional[int]:
+        """The memoized value for ``token``, or ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(token)
+            if value is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(token)
+                self.hits += 1
+            self._unflushed += 1
+            if self._unflushed >= _FLUSH_INTERVAL:
+                self._flush_locked()
+        return value
+
+    def put(self, token: CacheToken, value: int) -> None:
+        """Memoize ``value`` under ``token``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[token] = value
+            self._entries.move_to_end(token)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # -- maintenance -------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (tallies are kept; they are lifetime counts)."""
+        with self._lock:
+            self._entries.clear()
+
+    def flush_metrics(self) -> None:
+        """Push accumulated tallies into the active metrics registry."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        metric_inc("smatch_ope_cache_hits_total", self.hits - self._flushed_hits)
+        metric_inc("smatch_ope_cache_misses_total", self.misses - self._flushed_misses)
+        metric_inc(
+            "smatch_ope_cache_evictions_total",
+            self.evictions - self._flushed_evictions,
+        )
+        metric_set("smatch_ope_cache_entries", len(self._entries))
+        self._flushed_hits = self.hits
+        self._flushed_misses = self.misses
+        self._flushed_evictions = self.evictions
+        self._unflushed = 0
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(hits, misses, evictions)`` lifetime tallies."""
+        with self._lock:
+            return self.hits, self.misses, self.evictions

@@ -48,12 +48,27 @@ class RSAPublicKey:
 
 @dataclass(frozen=True)
 class RSAKeyPair:
-    """An RSA key pair; carries CRT parameters for fast private ops."""
+    """An RSA key pair; carries CRT parameters for fast private ops.
+
+    The CRT constants ``dp = d mod (p-1)``, ``dq = d mod (q-1)`` and
+    ``qinv = q^-1 mod p`` are precomputed once at construction — the
+    ``modinv`` in particular is pure per-call waste on the OPRF hot path,
+    where one key pair serves every blinded evaluation.
+    """
 
     public: RSAPublicKey
     d: int
     p: int
     q: int
+    dp: int = 0
+    dq: int = 0
+    qinv: int = 0
+
+    def __post_init__(self) -> None:
+        # derived, never trusted from the caller: recompute unconditionally
+        object.__setattr__(self, "dp", self.d % (self.p - 1))
+        object.__setattr__(self, "dq", self.d % (self.q - 1))
+        object.__setattr__(self, "qinv", modinv(self.q, self.p))
 
     @classmethod
     def generate(
@@ -103,12 +118,9 @@ class RSAKeyPair:
         if not 0 <= c < self.public.n:
             raise CiphertextError("ciphertext out of range")
         with span("rsa.raw_decrypt", bits=self.public.modulus_bits):
-            dp = self.d % (self.p - 1)
-            dq = self.d % (self.q - 1)
-            mp = modexp(c % self.p, dp, self.p)
-            mq = modexp(c % self.q, dq, self.q)
-            qinv = modinv(self.q, self.p)
-            h = (mp - mq) * qinv % self.p
+            mp = modexp(c % self.p, self.dp, self.p)
+            mq = modexp(c % self.q, self.dq, self.q)
+            h = (mp - mq) * self.qinv % self.p
             return mq + h * self.q
 
     def sign_raw(self, m: int) -> int:

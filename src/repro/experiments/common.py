@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.profile import ProfileSchema
 from repro.core.scheme import SMatch, SMatchParams
 from repro.crypto.fixtures import fixed_rsa_keypair
+from repro.crypto.ope_cache import OpeNodeCache
 from repro.crypto.oprf import RsaOprfServer
 from repro.datasets.schema import DatasetSpec
 from repro.datasets.synthetic import ClusteredPopulation
@@ -81,6 +82,8 @@ def build_scheme(
     schema: Optional[ProfileSchema] = None,
     query_k: int = 5,
     parity_symbols: Optional[int] = None,
+    ope_expansion_bits: int = 0,
+    ope_cache: Union[OpeNodeCache, bool, None] = None,
 ) -> SMatch:
     """An S-MATCH instance configured for one dataset.
 
@@ -103,10 +106,11 @@ def build_scheme(
             schema=schema,
             theta=theta,
             plaintext_bits=plaintext_bits,
+            ope_expansion_bits=ope_expansion_bits,
             query_k=query_k,
             parity_symbols=parity_symbols,
         )
-        return SMatch(params, oprf_server=oprf, rng=rng)
+        return SMatch(params, oprf_server=oprf, rng=rng, ope_cache=ope_cache)
 
 
 def build_population(

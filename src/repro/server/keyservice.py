@@ -21,6 +21,8 @@ from repro.crypto.oprf import RsaOprfServer
 from repro.errors import ParameterError, ProtocolError
 from repro.net.messages import Message
 from repro.net.oprf_messages import (
+    BatchedBlindEvalRequest,
+    BatchedBlindEvalResponse,
     OprfKeyInfo,
     OprfKeyInfoRequest,
     OprfRequest,
@@ -67,17 +69,24 @@ class KeyGenService:
 
     # -- rate limiting ------------------------------------------------------------
 
-    def _check_budget(self, client: str, now: int) -> None:
+    def _charge_budget(self, client: str, now: int, amount: int) -> None:
+        """Charge ``amount`` evaluations all-or-nothing against the window.
+
+        A batch that exceeds the remaining budget is rejected whole without
+        consuming anything — partial batches would let a client smear one
+        over-limit batch across windows.
+        """
         budget = self._budgets.get(client)
         if budget is None or now - budget.window_start >= self.window_seconds:
             self._budgets[client] = _ClientBudget(window_start=now, used=0)
             budget = self._budgets[client]
-        if budget.used >= self.max_requests:
+        if budget.used + amount > self.max_requests:
             self.rejections += 1
             metric_inc("smatch_keyservice_rejections_total")
             _log.warning(
                 "rate_limit_exceeded",
                 client=client,
+                requested=amount,
                 limit=self.max_requests,
                 window_seconds=self.window_seconds,
             )
@@ -85,7 +94,10 @@ class KeyGenService:
                 f"client {client!r} exceeded {self.max_requests} OPRF "
                 f"evaluations per {self.window_seconds}s window"
             )
-        budget.used += 1
+        budget.used += amount
+
+    def _check_budget(self, client: str, now: int) -> None:
+        self._charge_budget(client, now, 1)
 
     def remaining_budget(self, client: str, now: int = 0) -> int:
         """Evaluations left in the client's current window."""
@@ -117,6 +129,32 @@ class KeyGenService:
                 self.evaluations_served += 1
                 metric_inc("smatch_keyservice_evaluations_total")
                 return OprfResponse(
+                    request_id=message.request_id, evaluated=evaluated
+                )
+        if isinstance(message, BatchedBlindEvalRequest):
+            with span(
+                "keyservice.evaluate_batch",
+                client=client,
+                batch=len(message.blinded),
+            ):
+                self._charge_budget(client, now, len(message.blinded))
+                try:
+                    evaluated = tuple(
+                        self.oprf.evaluate_blinded(blinded)
+                        for blinded in message.blinded
+                    )
+                except ParameterError as exc:
+                    raise ProtocolError(f"invalid OPRF request: {exc}") from exc
+                self.evaluations_served += len(evaluated)
+                metric_inc(
+                    "smatch_keyservice_evaluations_total", len(evaluated)
+                )
+                metric_inc("smatch_keyservice_batches_total")
+                metric_inc(
+                    "smatch_keyservice_batched_evaluations_total",
+                    len(evaluated),
+                )
+                return BatchedBlindEvalResponse(
                     request_id=message.request_id, evaluated=evaluated
                 )
         raise ProtocolError(

@@ -13,6 +13,7 @@ key.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterator, List, Tuple
 
 from repro.core.scheme import EncryptedProfile
@@ -22,11 +23,43 @@ __all__ = ["ProfileStore"]
 
 
 class ProfileStore:
-    """Grouped storage of encrypted profiles."""
+    """Grouped storage of encrypted profiles.
+
+    Mutations are published to registered listeners (weakly referenced, so
+    an abandoned listener never outlives its owner) — the hook the
+    incremental :class:`~repro.server.matcher.ServerMatcher` uses to fold
+    membership changes into its per-group sorted orders without re-sorting.
+    A listener provides ``profile_added(key_index, payload)`` and
+    ``profile_removed(key_index, user_id)``; events fire *after* the store
+    state is consistent, and a replacement upload fires remove-then-add
+    (even within one group, so chain changes are never missed).
+    """
 
     def __init__(self) -> None:
         self._groups: Dict[bytes, Dict[int, EncryptedProfile]] = {}
         self._user_group: Dict[int, bytes] = {}
+        self._listeners: List["weakref.ReferenceType"] = []
+
+    def add_listener(self, listener: object) -> None:
+        """Subscribe to profile_added / profile_removed events (weakly)."""
+        self._listeners.append(weakref.ref(listener))
+
+    def _live_listeners(self) -> List[object]:
+        live = [ref() for ref in self._listeners]
+        if any(listener is None for listener in live):
+            self._listeners = [
+                ref for ref, listener in zip(self._listeners, live)
+                if listener is not None
+            ]
+        return [listener for listener in live if listener is not None]
+
+    def _notify_removed(self, key_index: bytes, user_id: int) -> None:
+        for listener in self._live_listeners():
+            listener.profile_removed(key_index, user_id)
+
+    def _notify_added(self, payload: EncryptedProfile) -> None:
+        for listener in self._live_listeners():
+            listener.profile_added(payload.key_index, payload)
 
     def __len__(self) -> int:
         return len(self._user_group)
@@ -47,6 +80,9 @@ class ProfileStore:
                 del self._groups[previous]
         self._groups.setdefault(payload.key_index, {})[uid] = payload
         self._user_group[uid] = payload.key_index
+        if previous is not None:
+            self._notify_removed(previous, uid)
+        self._notify_added(payload)
 
     def get(self, user_id: int) -> EncryptedProfile:
         """Fetch a stored record; raises when absent."""
@@ -64,6 +100,7 @@ class ProfileStore:
         del group[user_id]
         if not group:
             del self._groups[index]
+        self._notify_removed(index, user_id)
 
     def group_of(self, user_id: int) -> Dict[int, EncryptedProfile]:
         """The key group containing a user (the h(K_up) filter step)."""

@@ -1,0 +1,202 @@
+"""Tests for the OPE node cache: LRU mechanics and bit-exact equivalence.
+
+The load-bearing property is the correctness contract of
+:mod:`repro.crypto.ope_cache`: an :class:`OPE` instance backed by a cache —
+cold, warm, shared, or capacity-starved — produces exactly the ciphertexts
+of an uncached instance under the same key, in both split modes.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ope import (
+    OPE,
+    OpeParams,
+    _hypergeometric_logpmf,
+    _hypergeometric_ppf,
+)
+from repro.crypto.ope_cache import OpeNodeCache
+from repro.errors import ParameterError
+from repro.obs.metrics import disable_metrics, enable_metrics
+
+KEY = b"ope-cache-test-key-32-bytes....."
+
+
+def _keys(seed):
+    return random.Random(seed).randbytes(32)
+
+
+class TestCacheMechanics:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            OpeNodeCache(capacity=-1)
+
+    def test_zero_capacity_always_misses(self):
+        cache = OpeNodeCache(capacity=0)
+        token = (b"ns", 0, 0, 7, 0, 100)
+        cache.put(token, 42)
+        assert cache.get(token) is None
+        assert len(cache) == 0
+        hits, misses, evictions = cache.stats()
+        assert (hits, misses, evictions) == (0, 1, 0)
+
+    def test_hit_miss_tallies(self):
+        cache = OpeNodeCache(capacity=4)
+        token = (b"ns", 0, 0, 7, 0, 100)
+        assert cache.get(token) is None
+        cache.put(token, 42)
+        assert cache.get(token) == 42
+        hits, misses, _ = cache.stats()
+        assert (hits, misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = OpeNodeCache(capacity=2)
+        t1, t2, t3 = ((b"ns", 0, i, i, 0, 9) for i in range(3))
+        cache.put(t1, 1)
+        cache.put(t2, 2)
+        cache.get(t1)  # t1 becomes most-recent; t2 is now the LRU entry
+        cache.put(t3, 3)
+        assert cache.get(t2) is None
+        assert cache.get(t1) == 1
+        assert cache.get(t3) == 3
+        assert cache.stats()[2] == 1  # one eviction
+
+    def test_clear_keeps_lifetime_tallies(self):
+        cache = OpeNodeCache(capacity=4)
+        token = (b"ns", 1, 5, 0, 0, 9)
+        cache.put(token, 7)
+        cache.get(token)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(token) is None
+        hits, misses, _ = cache.stats()
+        assert (hits, misses) == (1, 1)
+
+    def test_flush_metrics_exports_counters(self):
+        registry = enable_metrics()
+        try:
+            cache = OpeNodeCache(capacity=2)
+            token = (b"ns", 0, 0, 1, 0, 3)
+            cache.get(token)
+            cache.put(token, 9)
+            cache.get(token)
+            cache.flush_metrics()
+            snapshot = registry.snapshot()
+            assert snapshot["counters"]["smatch_ope_cache_hits_total"] == 1
+            assert snapshot["counters"]["smatch_ope_cache_misses_total"] == 1
+            assert snapshot["gauges"]["smatch_ope_cache_entries"] == 1
+        finally:
+            disable_metrics()
+
+
+class TestCachedEqualsUncached:
+    """Bit-for-bit equivalence of cached and uncached descent, both modes."""
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_mode(self, seed):
+        rnd = random.Random(seed)
+        key = _keys(seed)
+        params = OpeParams(plaintext_bits=32, expansion_bits=16)
+        plain = OPE(key, params)
+        cached = OPE(key, params, cache=OpeNodeCache())
+        values = [rnd.randrange(params.domain_size) for _ in range(12)]
+        values += values[:4]  # revisits exercise the warm hit path
+        assert [cached.encrypt(v) for v in values] == [
+            plain.encrypt(v) for v in values
+        ]
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_hypergeometric_mode(self, seed):
+        rnd = random.Random(seed)
+        key = _keys(seed)
+        params = OpeParams(
+            plaintext_bits=10, expansion_bits=4, split="hypergeometric"
+        )
+        plain = OPE(key, params)
+        cached = OPE(key, params, cache=OpeNodeCache())
+        values = [rnd.randrange(params.domain_size) for _ in range(8)]
+        values += values[:3]
+        assert [cached.encrypt(v) for v in values] == [
+            plain.encrypt(v) for v in values
+        ]
+
+    def test_shared_cache_never_crosses_keys(self):
+        shared = OpeNodeCache()
+        params = OpeParams(plaintext_bits=16, expansion_bits=8)
+        key_a, key_b = _keys(1), _keys(2)
+        a_shared = OPE(key_a, params, cache=shared)
+        b_shared = OPE(key_b, params, cache=shared)
+        a_plain = OPE(key_a, params)
+        b_plain = OPE(key_b, params)
+        for value in range(0, 2**16, 2**11):
+            assert a_shared.encrypt(value) == a_plain.encrypt(value)
+            assert b_shared.encrypt(value) == b_plain.encrypt(value)
+
+    def test_capacity_starved_cache_still_exact(self):
+        params = OpeParams(plaintext_bits=24, expansion_bits=8)
+        key = _keys(3)
+        plain = OPE(key, params)
+        tiny = OPE(key, params, cache=OpeNodeCache(capacity=4))
+        rnd = random.Random(3)
+        for _ in range(40):
+            value = rnd.randrange(params.domain_size)
+            assert tiny.encrypt(value) == plain.encrypt(value)
+
+    def test_decrypt_round_trip_through_cache(self):
+        params = OpeParams(plaintext_bits=16, expansion_bits=8)
+        ope = OPE(_keys(4), params, cache=OpeNodeCache())
+        for value in (0, 1, 2**15, 2**16 - 1):
+            assert ope.decrypt(ope.encrypt(value)) == value
+
+
+def _cdf_reference(k, total, good, draws):
+    """CDF up to ``k`` by direct log-gamma PMF summation."""
+    lo = max(0, draws - (total - good))
+    return sum(
+        math.exp(_hypergeometric_logpmf(j, total, good, draws))
+        for j in range(lo, k + 1)
+    )
+
+
+class TestHypergeometricRecurrence:
+    """The ratio-recurrence PPF still inverts the log-gamma CDF.
+
+    The recurrence and a per-step log-gamma walk differ by float ULPs, so
+    when ``u`` lands within rounding distance of a CDF jump the two walks
+    may legitimately stop one step apart; the robust statement is the
+    quantile bracket ``CDF(k-1) < u <= CDF(k)`` up to accumulated rounding.
+    """
+
+    EPS = 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=4000),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_recurrence_inverts_lgamma_cdf(self, total, u, seed):
+        rnd = random.Random(seed)
+        good = rnd.randint(1, total - 1)
+        draws = rnd.randint(1, total - 1)
+        lo = max(0, draws - (total - good))
+        hi = min(draws, good)
+        k = _hypergeometric_ppf(u, total, good, draws)
+        assert lo <= k <= hi
+        assert _cdf_reference(k, total, good, draws) + self.EPS >= u
+        if k > lo:
+            assert _cdf_reference(k - 1, total, good, draws) < u + self.EPS
+
+    def test_support_endpoints(self):
+        # u = 0 maps to the lower support end
+        assert _hypergeometric_ppf(0.0, 100, 30, 40) == 0
+        # draws exceed the bad pool: the lower support end is positive
+        assert _hypergeometric_ppf(0.0, 10, 8, 9) == 7
+        # u = 1 lands where the accumulated mass reaches 1.0 in floats,
+        # which is within the support by construction
+        assert _hypergeometric_ppf(1.0, 100, 30, 40) <= 30

@@ -42,6 +42,34 @@ REQUIRED_SPANS = (
 
 _SPAN_INT_FIELDS = ("start_us", "duration_us")
 
+# Every metric name the instrumented tree may emit (docs/OBSERVABILITY.md
+# naming scheme).  An unknown name in metrics.json is almost always a typo
+# at one of two call sites that will silently split a time series.
+KNOWN_METRICS = frozenset(
+    {
+        "smatch_server_uploads_total",
+        "smatch_server_queries_total",
+        "smatch_server_results_total",
+        "smatch_matcher_groups_indexed",
+        "smatch_matcher_group_generation",
+        "smatch_keyservice_evaluations_total",
+        "smatch_keyservice_batched_evaluations_total",
+        "smatch_keyservice_batches_total",
+        "smatch_keyservice_rejections_total",
+        "smatch_net_messages_total",
+        "smatch_net_message_bytes",
+        "smatch_channel_messages_total",
+        "smatch_channel_sent_bytes",
+        "smatch_channel_received_bytes",
+        "smatch_ope_cache_hits_total",
+        "smatch_ope_cache_misses_total",
+        "smatch_ope_cache_evictions_total",
+        "smatch_ope_cache_entries",
+        "smatch_enroll_batch_profiles_total",
+        "smatch_enroll_batch_chunks_total",
+    }
+)
+
 
 def check_trace(path: Path, problems: List[str]) -> None:
     """Validate trace.jsonl structure, parent links, and phase coverage."""
@@ -122,6 +150,14 @@ def check_metrics(directory: Path, problems: List[str]) -> None:
     except (OSError, json.JSONDecodeError) as exc:
         problems.append(f"{json_path}: unreadable or invalid ({exc})")
         return
+    for family in ("counters", "gauges", "histograms"):
+        for name in snapshot.get(family, {}):
+            if name not in KNOWN_METRICS:
+                problems.append(
+                    f"{json_path}: unknown metric name {name!r} in {family} "
+                    "(typo, or add it to KNOWN_METRICS in "
+                    "tools/check_obs_artifacts.py)"
+                )
     counters = snapshot.get("counters", {})
     uploads = counters.get("smatch_server_uploads_total", 0)
     if not isinstance(uploads, int) or uploads < 1:
