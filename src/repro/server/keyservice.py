@@ -75,6 +75,10 @@ class KeyGenService:
         A batch that exceeds the remaining budget is rejected whole without
         consuming anything — partial batches would let a client smear one
         over-limit batch across windows.
+
+        SML007 reviewed: every branch here depends only on public request
+        metadata (client id, counts, window timestamps) — the early raise
+        is observable but reveals nothing the client did not already know.
         """
         budget = self._budgets.get(client)
         if budget is None or now - budget.window_start >= self.window_seconds:
@@ -128,8 +132,12 @@ class KeyGenService:
                     raise ProtocolError(f"invalid OPRF request: {exc}") from exc
                 self.evaluations_served += 1
                 metric_inc("smatch_keyservice_evaluations_total")
+                # SML008 reviewed: the evaluated value is x^d mod N on a
+                # value still masked by the client's blinding factor r^e —
+                # the service (and any eavesdropper under the SecureChannel)
+                # learns nothing about the underlying profile attribute
                 return OprfResponse(
-                    request_id=message.request_id, evaluated=evaluated
+                    request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
                 )
         if isinstance(message, BatchedBlindEvalRequest):
             with span(
@@ -138,6 +146,14 @@ class KeyGenService:
                 batch=len(message.blinded),
             ):
                 self._charge_budget(client, now, len(message.blinded))
+                # validate the whole batch before evaluating any element:
+                # rejecting mid-batch (after 0..k-1 modexps) would make the
+                # time-to-error reveal the index of the first bad element
+                modulus = self.oprf.public_key.n
+                if any(not 0 <= blinded < modulus for blinded in message.blinded):
+                    raise ProtocolError(
+                        "invalid OPRF request: blinded value out of range"
+                    )
                 try:
                     evaluated = tuple(
                         self.oprf.evaluate_blinded(blinded)
@@ -154,8 +170,10 @@ class KeyGenService:
                     "smatch_keyservice_batched_evaluations_total",
                     len(evaluated),
                 )
+                # SML008 reviewed: blinded-evaluation outputs, same argument
+                # as the single-evaluation OprfResponse above
                 return BatchedBlindEvalResponse(
-                    request_id=message.request_id, evaluated=evaluated
+                    request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
                 )
         raise ProtocolError(
             f"key service cannot handle {type(message).__name__}"

@@ -16,7 +16,9 @@ from __future__ import annotations
 import hashlib
 import hmac
 import random
-from typing import Optional
+from typing import Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
 
 from repro.errors import ParameterError
 
@@ -143,7 +145,7 @@ class SystemRandomSource:
         """Uniform float in [0, 1)."""
         return self._rng.random()
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[_T]) -> _T:
         """Uniformly chosen element of a non-empty sequence."""
         if not seq:
             raise ParameterError("cannot choose from an empty sequence")
@@ -153,7 +155,7 @@ class SystemRandomSource:
         """Shuffle a list in place."""
         self._rng.shuffle(items)
 
-    def sample(self, population, k: int):
+    def sample(self, population: Sequence[_T], k: int) -> list[_T]:
         """k distinct elements sampled without replacement."""
         return self._rng.sample(population, k)
 

@@ -1,0 +1,160 @@
+"""Structural (statistics-free) response-shape tests for the key service.
+
+A timing-oracle test based on measured durations would be flaky by
+construction; these tests instead pin the *structure* that makes the
+observable behavior uniform:
+
+* every success path out of ``KeyGenService.handle_message`` is a wire
+  message built by a message constructor — never ad-hoc bytes whose shape
+  could vary per branch;
+* every error path raises a typed ``ProtocolError`` (one uniform failure
+  surface), never a hand-rolled response;
+* all OPRF wire messages serialize through the same ``FieldWriter``
+  routine, starting with the message tag, so success responses are
+  shape-identical up to field contents;
+* the batched path validates the whole batch *before* the first modexp —
+  the regression guard for the mid-batch rejection timing leak.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+import pytest
+
+from repro.net import oprf_messages
+from repro.server import keyservice
+
+
+def _parse(module) -> ast.Module:
+    return ast.parse(textwrap.dedent(inspect.getsource(module)))
+
+
+def _method(tree: ast.Module, cls: str, name: str) -> ast.FunctionDef:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == cls:
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == name:
+                    return item
+    raise AssertionError(f"{cls}.{name} not found")
+
+
+def _call_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return ""
+
+
+@pytest.fixture(scope="module")
+def handle_message() -> ast.FunctionDef:
+    return _method(_parse(keyservice), "KeyGenService", "handle_message")
+
+
+class TestHandlerResponseShape:
+    def test_every_success_return_is_a_wire_message(self, handle_message):
+        returns = [
+            node
+            for node in ast.walk(handle_message)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+        assert len(returns) >= 3  # key info, single eval, batched eval
+        for node in returns:
+            name = _call_name(node.value)
+            assert name.endswith(("Response", "Info")), (
+                f"line {node.lineno}: handler returns {ast.dump(node.value)[:80]}"
+                " instead of a wire-message constructor"
+            )
+
+    def test_every_error_path_raises_protocol_error(self, handle_message):
+        raises = [
+            node for node in ast.walk(handle_message) if isinstance(node, ast.Raise)
+        ]
+        assert raises, "handler must reject unknown/invalid messages"
+        for node in raises:
+            assert _call_name(node.exc) == "ProtocolError", (
+                f"line {node.lineno}: error path must raise the uniform "
+                "ProtocolError, not build a bespoke response"
+            )
+
+    def test_single_and_batch_paths_build_same_response_family(self):
+        # both evaluation responses carry the same field set and therefore
+        # flow through the same encoder shape
+        single = oprf_messages.OprfResponse.__dataclass_fields__
+        batched = oprf_messages.BatchedBlindEvalResponse.__dataclass_fields__
+        assert set(single) == {"request_id", "evaluated"}
+        assert set(batched) == {"request_id", "evaluated"}
+
+
+class TestEncoderUniformity:
+    def test_all_oprf_messages_share_the_fieldwriter_routine(self):
+        tree = _parse(oprf_messages)
+        encoders = [
+            (cls.name, item)
+            for cls in ast.walk(tree)
+            if isinstance(cls, ast.ClassDef)
+            for item in cls.body
+            if isinstance(item, ast.FunctionDef) and item.name == "encode"
+        ]
+        assert len(encoders) >= 6
+        for cls_name, encode in encoders:
+            calls = [_call_name(n) for n in ast.walk(encode) if isinstance(n, ast.Call)]
+            assert "FieldWriter" in calls, f"{cls_name}.encode bypasses FieldWriter"
+            # the first serialized field is the message tag, uniformly
+            writes = [
+                n
+                for n in ast.walk(encode)
+                if isinstance(n, ast.Call) and _call_name(n).startswith("write_")
+            ]
+            first = min(writes, key=lambda n: (n.lineno, n.col_offset))
+            assert _call_name(first) == "write_int"
+            assert isinstance(first.args[0], ast.Attribute)
+            assert first.args[0].attr == "TAG", (
+                f"{cls_name}.encode must write the tag first"
+            )
+
+
+class TestBatchTimingGuard:
+    def test_batch_range_check_precedes_first_evaluation(self, handle_message):
+        source_lines = {
+            "range_check": None,
+            "evaluation": None,
+        }
+        for node in ast.walk(handle_message):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name == "any" and source_lines["range_check"] is None:
+                    source_lines["range_check"] = node.lineno
+                if name == "evaluate_blinded":
+                    line = node.lineno
+                    if (
+                        source_lines["evaluation"] is None
+                        or line > source_lines["evaluation"]
+                    ):
+                        source_lines["evaluation"] = line
+        assert source_lines["range_check"] is not None, (
+            "batched path must pre-validate blinded values in range — "
+            "rejecting mid-batch leaks the index of the first bad element"
+        )
+        assert source_lines["range_check"] < source_lines["evaluation"]
+
+    def test_batch_rejection_consumes_no_evaluations(self):
+        from repro.crypto.oprf import RsaOprfServer
+        from repro.errors import ProtocolError
+        from repro.net.oprf_messages import BatchedBlindEvalRequest
+
+        service = keyservice.KeyGenService(
+            oprf_server=RsaOprfServer(bits=512), max_requests_per_window=10
+        )
+        bad = BatchedBlindEvalRequest(
+            request_id=7,
+            blinded=(1, 2, service.oprf.public_key.n),  # last one out of range
+        )
+        with pytest.raises(ProtocolError):
+            service.handle_message("client", bad)
+        assert service.evaluations_served == 0

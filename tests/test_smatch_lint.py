@@ -289,6 +289,297 @@ class TestSml006SecretLogging:
         assert check(src) == []
 
 
+SERVER_PATH = "src/repro/server/handler.py"
+NET_PATH = "src/repro/net/framing.py"
+
+
+class TestSml007TaintTiming:
+    def test_secret_param_branch_flagged(self):
+        src = """\
+        def handle(request, profile_key):
+            if profile_key == request.blob:
+                return b"match"
+            return b"no"
+        """
+        found = check(src, SERVER_PATH)
+        assert "SML007" in codes(found)
+        assert any("profile_key" in v.message for v in found)
+
+    def test_multi_hop_through_helper_flagged(self):
+        # secret -> local -> helper return -> branch: three hops, still caught
+        src = """\
+        def _mix(value, salt):
+            return value + salt
+
+        def handle(request, profile_key):
+            local = profile_key
+            derived = _mix(local, b"salt")
+            if derived == request.blob:
+                return b"match"
+            return b"no"
+        """
+        found = check(src, SERVER_PATH)
+        assert codes(found) == ["SML007"]
+        assert "via local -> derived" in found[0].message
+
+    def test_constant_time_twin_clean(self):
+        # the same flow, laundered through constant_time_eq: no finding
+        src = """\
+        from repro.utils.ct import constant_time_eq
+
+        def _mix(value, salt):
+            return value + salt
+
+        def handle(request, profile_key):
+            local = profile_key
+            derived = _mix(local, b"salt")
+            if constant_time_eq(derived, request.blob):
+                return b"match"
+            return b"no"
+        """
+        assert check(src, SERVER_PATH) == []
+
+    def test_secret_loop_bound_flagged(self):
+        src = """\
+        def handle(secret_rounds):
+            total = 0
+            for _ in range(secret_rounds):
+                total += 1
+            return total
+        """
+        found = check(src, SERVER_PATH)
+        assert "SML007" in codes(found)
+
+    def test_annotation_source_flagged(self):
+        src = """\
+        def handle(request):
+            material = request.payload  # smatch-lint: secret
+            if material:
+                return b"y"
+            return b"n"
+        """
+        found = check(src, SERVER_PATH)
+        assert codes(found) == ["SML007"]
+        assert "smatch-lint: secret" in found[0].message
+
+    def test_registered_source_call_flagged(self):
+        src = """\
+        def handle(self, request):
+            material = self.keygen.derive(request.values)
+            while material:
+                material = material[1:]
+            return b"done"
+        """
+        assert "SML007" in codes(check(src, SERVER_PATH))
+
+    def test_reassignment_kills_taint(self):
+        src = """\
+        def handle(profile_key):
+            value = profile_key
+            value = b"public"
+            if value:
+                return b"y"
+            return b"n"
+        """
+        assert check(src, SERVER_PATH) == []
+
+    def test_hash_sanitizer_clean(self):
+        src = """\
+        def handle(profile_key):
+            commitment = sha256(profile_key)
+            if commitment:
+                return b"y"
+            return b"n"
+        """
+        assert check(src, SERVER_PATH) == []
+
+    def test_outside_scope_clean(self):
+        src = """\
+        def handle(profile_key, blob):
+            if profile_key:
+                return b"y"
+            return b"n"
+        """
+        assert check(src, "src/repro/experiments/widget.py") == []
+
+    def test_uppercase_constant_clean(self):
+        src = """\
+        def encode(self, w):
+            if self.TAG:
+                w.note(self.TAG)
+        """
+        assert check(src, NET_PATH) == []
+
+    def test_suppression(self):
+        src = """\
+        def handle(profile_key):
+            if profile_key:  # smatch-lint: disable=SML007
+                return b"y"
+            return b"n"
+        """
+        assert check(src, SERVER_PATH) == []
+
+
+class TestSml008TaintWire:
+    def test_secret_to_serializer_flagged(self):
+        src = """\
+        def encode(writer, session_key):
+            writer.write_bytes(session_key)
+        """
+        found = check(src, NET_PATH)
+        assert codes(found) == ["SML008"]
+        assert "write_bytes" in found[0].message
+
+    def test_secret_into_message_ctor_flagged(self):
+        src = """\
+        def reply(request, mac_key):
+            return StatusResponse(request_id=request.request_id, proof=mac_key)
+        """
+        found = check(src, SERVER_PATH)
+        assert codes(found) == ["SML008"]
+        assert "StatusResponse" in found[0].message
+
+    def test_sealed_payload_clean(self):
+        # ciphertext from an approved encrypt call may cross the wire
+        src = """\
+        def send(channel, cipher, session_key, payload):
+            sealed = cipher.seal(payload, key=session_key)
+            channel.send(sealed)
+        """
+        assert check(src, NET_PATH) == []
+
+    def test_public_fields_clean(self):
+        src = """\
+        def encode(writer, payload):
+            writer.write_int(payload.user_id)
+            writer.write_bytes(payload.key_index)
+        """
+        assert check(src, NET_PATH) == []
+
+    def test_outside_scope_clean(self):
+        src = """\
+        def encode(writer, session_key):
+            writer.write_bytes(session_key)
+        """
+        assert check(src, "src/repro/experiments/widget.py") == []
+
+    def test_suppression(self):
+        src = """\
+        def encode(writer, session_key):
+            writer.write_bytes(session_key)  # smatch-lint: disable=SML008
+        """
+        assert check(src, NET_PATH) == []
+
+
+class TestSml009TaintSize:
+    def test_bytes_allocation_flagged(self):
+        src = """\
+        def pad(session_key):
+            return bytes(session_key[0])
+        """
+        found = check(src, NET_PATH)
+        assert codes(found) == ["SML009"]
+        assert "bytes()" in found[0].message
+
+    def test_sequence_repetition_flagged(self):
+        src = """\
+        def pad(secret_width):
+            return b"\\x00" * secret_width
+        """
+        found = check(src, NET_PATH)
+        assert codes(found) == ["SML009"]
+        assert "repetition" in found[0].message
+
+    def test_range_padding_loop_flagged(self):
+        src = """\
+        def pad(out, secret_width):
+            for _ in range(secret_width):
+                out.append(0)
+        """
+        assert "SML009" in codes(check(src, NET_PATH))
+
+    def test_to_bytes_width_flagged(self):
+        src = """\
+        def encode(value, secret_width):
+            return value.to_bytes(secret_width, "big")
+        """
+        found = check(src, NET_PATH)
+        assert codes(found) == ["SML009"]
+        assert "to_bytes" in found[0].message
+
+    def test_len_launder_clean(self):
+        src = """\
+        def pad(session_key):
+            return b"\\x00" * len(session_key)
+        """
+        assert check(src, NET_PATH) == []
+
+    def test_public_size_clean(self):
+        src = """\
+        def pad(block_size):
+            return bytes(block_size)
+        """
+        assert check(src, NET_PATH) == []
+
+    def test_suppression(self):
+        src = """\
+        def pad(secret_width):
+            return bytes(secret_width)  # smatch-lint: disable=SML009
+        """
+        assert check(src, NET_PATH) == []
+
+
+class TestUnusedSuppressionReporting:
+    def unused(self, source: str, path: str = CORE_PATH):
+        return lint_source(
+            textwrap.dedent(source), path, report_unused_suppressions=True
+        )
+
+    def test_used_suppression_not_reported(self):
+        src = "import random  # smatch-lint: disable=SML001\n"
+        assert self.unused(src) == []
+
+    def test_stale_line_suppression_reported(self):
+        src = "import secrets  # smatch-lint: disable=SML001\n"
+        found = self.unused(src)
+        assert codes(found) == ["SML000"]
+        assert "unused suppression of SML001" in found[0].message
+
+    def test_stale_file_wide_suppression_reported(self):
+        src = "# smatch-lint: disable-file=SML003\nx = 1\n"
+        found = self.unused(src, CRYPTO_PATH)
+        assert codes(found) == ["SML000"]
+        assert "file-wide" in found[0].message
+
+    def test_path_ignored_rule_not_reported_as_unused(self):
+        # SML001 does not run under tests/, so a suppression there is
+        # not provably stale and must not be flagged
+        src = "import random  # smatch-lint: disable=SML001\n"
+        assert self.unused(src, "tests/test_widget.py") == []
+
+    def test_default_mode_stays_quiet(self):
+        src = "import secrets  # smatch-lint: disable=SML001\n"
+        assert check(src) == []
+
+
+class TestPathRuleIgnores:
+    def test_tests_exempt_from_sml001_and_sml002(self):
+        src = """\
+        import random
+
+        def test_roundtrip(key, derived_key):
+            assert key == derived_key
+        """
+        assert check(src, "tests/test_widget.py") == []
+
+    def test_tests_still_get_taint_rules(self):
+        src = """\
+        def encode(writer, session_key):
+            writer.write_bytes(session_key)
+        """
+        assert codes(check(src, "tests/repro/net/test_framing.py")) == ["SML008"]
+
+
 class TestSuppressionDirectives:
     def test_file_wide_scope(self):
         src = (
@@ -332,6 +623,25 @@ class TestLiveTree:
     def test_tools_tree_is_violation_free(self):
         violations, _ = lint_paths([REPO_ROOT / "tools"])
         assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_tests_tree_is_violation_free(self):
+        violations, files_checked = lint_paths([REPO_ROOT / "tests"])
+        assert files_checked > 10
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_no_stale_suppressions_anywhere(self):
+        violations, _ = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tools", REPO_ROOT / "tests"],
+            report_unused_suppressions=True,
+        )
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_no_file_wide_suppressions_in_handlers(self):
+        # the acceptance bar for the taint rules: reviewed line-level
+        # waivers only — never a blanket file-level one in net/ or server/
+        for directory in ("net", "server"):
+            for path in (REPO_ROOT / "src" / "repro" / directory).rglob("*.py"):
+                assert "disable-file" not in path.read_text(encoding="utf-8"), path
 
 
 class TestCli:
@@ -380,5 +690,40 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("SML001", "SML002", "SML003", "SML004", "SML005", "SML006"):
+        for code in (
+            "SML001",
+            "SML002",
+            "SML003",
+            "SML004",
+            "SML005",
+            "SML006",
+            "SML007",
+            "SML008",
+            "SML009",
+        ):
             assert code in out
+
+    def test_report_unused_suppressions_flag(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text(
+            "import secrets  # smatch-lint: disable=SML001\n", encoding="utf-8"
+        )
+        assert main([str(stale)]) == 0
+        assert main(["--report-unused-suppressions", str(stale)]) == 1
+        assert "unused suppression" in capsys.readouterr().out
+
+    def test_taint_debug_dump(self, tmp_path, capsys):
+        handler = tmp_path / "src" / "repro" / "server" / "h.py"
+        handler.parent.mkdir(parents=True)
+        handler.write_text(
+            "def handle(profile_key):\n"
+            "    if profile_key:\n"
+            "        return b'y'\n"
+            "    return b'n'\n",
+            encoding="utf-8",
+        )
+        assert main(["--taint-debug", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "handle" in out
+        assert "branch@2" in out
+        assert "profile_key" in out

@@ -1,0 +1,262 @@
+"""Unit tests for the smatch-lint dataflow layer (cfg.py + taint.py).
+
+The rule-level behavior is covered in test_smatch_lint.py; these tests pin
+the graph construction (edge kinds, loop back edges, exception edges) and
+the taint engine's core algebra (joins, strong updates, summaries,
+convergence) directly, so a regression points at the right layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from tools.smatch_lint.cfg import build_cfg
+from tools.smatch_lint.config import DEFAULT_CONFIG
+from tools.smatch_lint.rules import RuleContext
+from tools.smatch_lint.taint import analyze_module
+
+SERVER_PATH = "src/repro/server/handler.py"
+
+
+def first_function(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def analyze(source: str, path: str = SERVER_PATH, secret_lines=frozenset()):
+    tree = ast.parse(textwrap.dedent(source))
+    ctx = RuleContext(path=path, config=DEFAULT_CONFIG, secret_lines=secret_lines)
+    return analyze_module(tree, ctx)
+
+
+def edge_kinds(cfg):
+    return {edge.kind for edge in cfg.edges}
+
+
+class TestCfgConstruction:
+    def test_straight_line_wires_entry_to_exit(self):
+        cfg = build_cfg(first_function("def f():\n    a = 1\n    b = 2\n"))
+        assert len(cfg.nodes) == 4  # ENTRY, EXIT, two statements
+        kinds = edge_kinds(cfg)
+        assert kinds == {"next"}
+        # ENTRY -> a -> b -> EXIT
+        assert (cfg.ENTRY, "next") in cfg.preds[2]
+        assert any(dst == cfg.EXIT for dst, _ in cfg.succs[3])
+
+    def test_if_has_true_false_edges_and_join(self):
+        cfg = build_cfg(
+            first_function(
+                """\
+                def f(x):
+                    if x:
+                        a = 1
+                    b = 2
+                """
+            )
+        )
+        kinds = edge_kinds(cfg)
+        assert {"true", "false"} <= kinds
+        # the statement after the if joins both arms: two predecessors
+        join = max(cfg.index_of.values())
+        assert len(cfg.preds[join]) == 2
+
+    def test_while_loop_has_back_edge(self):
+        cfg = build_cfg(
+            first_function(
+                """\
+                def f(x):
+                    while x:
+                        x -= 1
+                    return x
+                """
+            )
+        )
+        assert {"loop", "back", "false"} <= edge_kinds(cfg)
+
+    def test_for_loop_exhausted_and_break(self):
+        cfg = build_cfg(
+            first_function(
+                """\
+                def f(items):
+                    for item in items:
+                        if item:
+                            break
+                    return 0
+                """
+            )
+        )
+        assert {"loop", "exhausted", "back", "break"} <= edge_kinds(cfg)
+
+    def test_continue_targets_loop_header(self):
+        func = first_function(
+            """\
+            def f(items):
+                for item in items:
+                    continue
+            """
+        )
+        cfg = build_cfg(func)
+        continue_edges = [e for e in cfg.edges if e.kind == "continue"]
+        assert len(continue_edges) == 1
+        header = cfg.index_of[id(func.body[0])]
+        assert continue_edges[0].dst == header
+
+    def test_try_body_statements_may_raise_into_handler(self):
+        func = first_function(
+            """\
+            def f():
+                try:
+                    a = g()
+                    b = h()
+                except ValueError:
+                    c = 1
+                return 0
+            """
+        )
+        cfg = build_cfg(func)
+        except_edges = [e for e in cfg.edges if e.kind == "except"]
+        # both body statements get an edge into the handler head
+        assert len(except_edges) == 2
+        assert len({e.dst for e in except_edges}) == 1
+
+    def test_return_and_raise_reach_exit(self):
+        cfg = build_cfg(
+            first_function(
+                """\
+                def f(x):
+                    if x:
+                        return 1
+                    raise ValueError("no")
+                """
+            )
+        )
+        exit_kinds = {kind for _src, kind in cfg.preds[cfg.EXIT]}
+        assert {"return", "raise"} <= exit_kinds
+
+    def test_render_names_every_node(self):
+        cfg = build_cfg(first_function("def f():\n    return 1\n"))
+        dump = cfg.render()
+        assert "<entry>" in dump and "Return@2" in dump
+
+
+class TestTaintEngine:
+    def test_join_keeps_taint_from_either_branch(self):
+        module = analyze(
+            """\
+            def handle(flag, profile_key):
+                if flag:
+                    value = profile_key
+                else:
+                    value = b"public"
+                if value:
+                    return b"y"
+                return b"n"
+            """
+        )
+        events = [e for _f, e in module.events("branch")]
+        assert any(e.taint.source == "profile_key" and e.line == 6 for e in events)
+
+    def test_strong_update_on_every_path_kills_taint(self):
+        module = analyze(
+            """\
+            def handle(flag, profile_key):
+                value = profile_key
+                if flag:
+                    value = b"a"
+                else:
+                    value = b"b"
+                if value:
+                    return b"y"
+                return b"n"
+            """
+        )
+        assert [e for _f, e in module.events("branch") if e.line == 7] == []
+
+    def test_summary_tracks_param_to_return_flow(self):
+        module = analyze(
+            """\
+            def passthrough(data, salt):
+                mixed = data + salt
+                return mixed
+            """
+        )
+        summary = module.functions[0].summary
+        assert summary.flows == {"data", "salt"}
+        assert not summary.returns_secret
+
+    def test_summary_returns_secret_for_source_calls(self):
+        module = analyze(
+            """\
+            def mint(values):
+                return derive_from_values(values)
+            """
+        )
+        assert module.functions[0].summary.returns_secret
+
+    def test_sanitizer_in_helper_breaks_the_chain(self):
+        module = analyze(
+            """\
+            def commit(data):
+                return sha256(data)
+
+            def handle(profile_key):
+                if commit(profile_key):
+                    return b"y"
+                return b"n"
+            """
+        )
+        assert [e for _f, e in module.events("branch")] == []
+
+    def test_cyclic_assignment_converges(self):
+        # a <-> b swap in a loop must not diverge (hop-chain capping)
+        module = analyze(
+            """\
+            def handle(profile_key, rounds):
+                a = profile_key
+                b = a
+                while rounds:
+                    a, b = b, a
+                    rounds -= 1
+                if a:
+                    return b"y"
+                return b"n"
+            """
+        )
+        events = [e for _f, e in module.events("branch") if e.line == 7]
+        assert events and all(len(e.taint.via) <= 4 for e in events)
+
+    def test_annotation_line_is_a_source(self):
+        module = analyze(
+            "def handle(request):\n"
+            "    blob = request.payload\n"
+            "    if blob:\n"
+            "        return b'y'\n"
+            "    return b'n'\n",
+            secret_lines=frozenset({2}),
+        )
+        events = [e for _f, e in module.events("branch")]
+        assert events and events[0].taint.kind == "annotation"
+
+    def test_except_handler_name_is_clean(self):
+        module = analyze(
+            """\
+            def handle(profile_key):
+                try:
+                    use(profile_key)
+                except ValueError as exc:
+                    if exc:
+                        return b"err"
+                return b"ok"
+            """
+        )
+        assert [e for _f, e in module.events("branch") if e.line == 5] == []
+
+    def test_analysis_memoized_per_context(self):
+        tree = ast.parse("def f(key):\n    return key\n")
+        ctx = RuleContext(path=SERVER_PATH, config=DEFAULT_CONFIG)
+        first = analyze_module(tree, ctx)
+        assert analyze_module(tree, ctx) is first

@@ -1,0 +1,250 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The taint analysis in :mod:`tools.smatch_lint.taint` needs to know, for
+every statement, which statements may execute before it — so that a value
+tainted on one path is still considered tainted at a later join point, and
+a clean re-assignment on *every* path kills the taint.  That is a classic
+forward may-analysis over a CFG; this module builds the graph.
+
+Shape of the graph:
+
+* one node per **statement** (plus two pseudo nodes, ``ENTRY`` and
+  ``EXIT``); compound statements (``if``/``while``/``for``/``with``/
+  ``try``) contribute a *header* node evaluating their test / iterable /
+  context expression, with their bodies nested as ordinary nodes;
+* edges are labelled with a kind: ``next`` (fallthrough), ``true`` /
+  ``false`` (branch), ``loop`` / ``exhausted`` / ``back`` (loop entry /
+  exit / back edge), ``except`` (any statement in a ``try`` body may
+  transfer to each of its handlers), ``return`` / ``raise`` (to ``EXIT``),
+  ``break`` / ``continue``;
+* nested function and class definitions are opaque single nodes — each
+  function gets its own graph via :func:`build_cfg`.
+
+The construction is deliberately conservative: extra edges (a ``raise``
+that also targets ``EXIT`` although a handler exists, a ``while True``
+with a ``false`` exit edge) only make the downstream may-analysis *more*
+pessimistic, never unsound.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Edge", "ControlFlowGraph", "build_cfg"]
+
+#: A dangling edge waiting to be attached to the next node: (source, kind).
+_Frontier = List[Tuple[int, str]]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One directed control-flow edge between node indices."""
+
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass
+class ControlFlowGraph:
+    """Statement-level CFG of one function body.
+
+    ``nodes[0]`` is the ``ENTRY`` pseudo node and ``nodes[1]`` the ``EXIT``
+    pseudo node (both hold ``None``); every other entry holds the
+    ``ast`` statement (or ``ast.ExceptHandler``) it represents.
+    """
+
+    ENTRY: int = 0
+    EXIT: int = 1
+
+    nodes: List[Optional[ast.AST]] = field(default_factory=lambda: [None, None])
+    edges: List[Edge] = field(default_factory=list)
+    #: node index -> outgoing (dst, kind) pairs
+    succs: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    #: node index -> incoming (src, kind) pairs
+    preds: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    #: identity map from statement object to its node index
+    index_of: Dict[int, int] = field(default_factory=dict)
+
+    def add_node(self, stmt: Optional[ast.AST]) -> int:
+        """Append a node; returns its index."""
+        self.nodes.append(stmt)
+        idx = len(self.nodes) - 1
+        if stmt is not None:
+            self.index_of[id(stmt)] = idx
+        return idx
+
+    def add_edge(self, src: int, dst: int, kind: str) -> None:
+        """Record one edge (idempotent per (src, dst, kind))."""
+        edge = Edge(src, dst, kind)
+        if edge in self.succs.get(src, ()):  # pragma: no cover - tiny lists
+            return
+        self.edges.append(edge)
+        self.succs.setdefault(src, []).append((dst, kind))
+        self.preds.setdefault(dst, []).append((src, kind))
+
+    def statement(self, idx: int) -> Optional[ast.AST]:
+        """The AST node behind a graph node (None for ENTRY/EXIT)."""
+        return self.nodes[idx]
+
+    def indices(self) -> Iterator[int]:
+        """All node indices, ENTRY and EXIT included."""
+        return iter(range(len(self.nodes)))
+
+    def render(self) -> str:
+        """Human-readable dump (used by ``--taint-debug``)."""
+        names = {self.ENTRY: "<entry>", self.EXIT: "<exit>"}
+        lines = []
+        for idx in self.indices():
+            stmt = self.nodes[idx]
+            label = names.get(
+                idx,
+                f"{type(stmt).__name__}@{getattr(stmt, 'lineno', '?')}",
+            )
+            outs = ", ".join(
+                f"{names.get(dst, dst)}:{kind}"
+                for dst, kind in self.succs.get(idx, [])
+            )
+            lines.append(f"  [{idx}] {label} -> {outs or '-'}")
+        return "\n".join(lines)
+
+
+class _Builder:
+    """Threads a frontier of dangling edges through a statement list."""
+
+    def __init__(self) -> None:
+        self.graph = ControlFlowGraph()
+        #: per enclosing loop: (header index, list collecting break edges)
+        self._loops: List[Tuple[int, _Frontier]] = []
+        #: per enclosing try: node indices of its handler heads
+        self._handlers: List[List[int]] = []
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _attach(self, frontier: _Frontier, dst: int) -> None:
+        for src, kind in frontier:
+            self.graph.add_edge(src, dst, kind)
+
+    def _node(self, stmt: ast.AST, frontier: _Frontier) -> int:
+        """Materialize a node and wire the pending frontier into it."""
+        idx = self.graph.add_node(stmt)
+        self._attach(frontier, idx)
+        # any statement inside a try body may raise into each live handler
+        for handler_group in self._handlers:
+            for handler_idx in handler_group:
+                self.graph.add_edge(idx, handler_idx, "except")
+        return idx
+
+    # -- statement dispatch -----------------------------------------------------
+
+    def body(self, stmts: Sequence[ast.stmt], frontier: _Frontier) -> _Frontier:
+        """Thread a statement sequence; returns the outgoing frontier."""
+        for stmt in stmts:
+            if not frontier:
+                # unreachable code after return/raise/break: still build
+                # nodes so rules can see them, with no incoming edges
+                pass
+            frontier = self._statement(stmt, frontier)
+        return frontier
+
+    def _statement(self, stmt: ast.stmt, frontier: _Frontier) -> _Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            idx = self._node(stmt, frontier)
+            return self.body(stmt.body, [(idx, "next")])
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            idx = self._node(stmt, frontier)
+            kind = "return" if isinstance(stmt, ast.Return) else "raise"
+            self.graph.add_edge(idx, self.graph.EXIT, kind)
+            return []
+        if isinstance(stmt, ast.Break):
+            idx = self._node(stmt, frontier)
+            if self._loops:
+                self._loops[-1][1].append((idx, "break"))
+            return []
+        if isinstance(stmt, ast.Continue):
+            idx = self._node(stmt, frontier)
+            if self._loops:
+                self.graph.add_edge(idx, self._loops[-1][0], "continue")
+            return []
+        # simple statements and opaque nested definitions
+        idx = self._node(stmt, frontier)
+        return [(idx, "next")]
+
+    def _if(self, stmt: ast.If, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt, frontier)
+        out = self.body(stmt.body, [(header, "true")])
+        if stmt.orelse:
+            out += self.body(stmt.orelse, [(header, "false")])
+        else:
+            out += [(header, "false")]
+        return out
+
+    def _while(self, stmt: ast.While, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt, frontier)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self.body(stmt.body, [(header, "loop")])
+        self._loops.pop()
+        for src, _ in body_out:
+            self.graph.add_edge(src, header, "back")
+        out: _Frontier = [(header, "false")] + breaks
+        if stmt.orelse:
+            out = self.body(stmt.orelse, [(header, "false")]) + breaks
+        return out
+
+    def _for(self, stmt: "ast.For | ast.AsyncFor", frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt, frontier)
+        breaks: _Frontier = []
+        self._loops.append((header, breaks))
+        body_out = self.body(stmt.body, [(header, "loop")])
+        self._loops.pop()
+        for src, _ in body_out:
+            self.graph.add_edge(src, header, "back")
+        out: _Frontier = [(header, "exhausted")] + breaks
+        if stmt.orelse:
+            out = self.body(stmt.orelse, [(header, "exhausted")]) + breaks
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: _Frontier) -> _Frontier:
+        # handler heads first, so body statements can raise into them
+        handler_heads: List[int] = []
+        for handler in stmt.handlers:
+            handler_heads.append(self.graph.add_node(handler))
+        self._handlers.append(handler_heads)
+        body_out = self.body(stmt.body, frontier)
+        self._handlers.pop()
+        out = list(body_out)
+        if stmt.orelse:
+            out = self.body(stmt.orelse, body_out)
+        for handler, head in zip(stmt.handlers, handler_heads):
+            out += self.body(handler.body, [(head, "next")])
+        if stmt.finalbody:
+            out = self.body(stmt.finalbody, out)
+        return out
+
+    def _match(self, stmt: ast.AST, frontier: _Frontier) -> _Frontier:
+        header = self._node(stmt, frontier)
+        out: _Frontier = [(header, "false")]  # no case matched
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            out += self.body(case.body, [(header, "case")])
+        return out
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> ControlFlowGraph:
+    """Build the statement-level CFG of one function definition."""
+    builder = _Builder()
+    out = builder.body(func.body, [(builder.graph.ENTRY, "next")])
+    builder._attach(out, builder.graph.EXIT)
+    return builder.graph

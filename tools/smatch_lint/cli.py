@@ -20,6 +20,49 @@ from tools.smatch_lint.config import DEFAULT_CONFIG
 from tools.smatch_lint.engine import lint_paths
 from tools.smatch_lint.rules import RULE_CODES, RULES
 
+
+def _taint_debug(paths: List[Path]) -> int:
+    """Dump per-function taint flows for every in-scope file under ``paths``."""
+    import ast
+
+    from tools.smatch_lint import taint
+    from tools.smatch_lint.engine import _parse_directives, iter_python_files
+    from tools.smatch_lint.rules import RuleContext
+
+    cwd = Path.cwd()
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(cwd)
+        except ValueError:
+            rel = file_path
+        posix = rel.as_posix()
+        if not DEFAULT_CONFIG.is_taint_scope(posix):
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            print(f"{posix}: syntax error: {exc.msg}")
+            continue
+        _per_line, _file_wide, secret_lines, _problems = _parse_directives(
+            source, posix
+        )
+        ctx = RuleContext(
+            path=posix, config=DEFAULT_CONFIG, secret_lines=frozenset(secret_lines)
+        )
+        module = taint.analyze_module(tree, ctx)
+        print(f"== {posix}")
+        for fn in module.functions:
+            flows = ", ".join(sorted(fn.summary.flows)) or "-"
+            secret = " returns-secret" if fn.summary.returns_secret else ""
+            print(f"  {fn.qualname} (line {fn.lineno}) flows[{flows}]{secret}")
+            for event in fn.real_events():
+                print(
+                    f"    {event.context}@{event.line}:{event.col} "
+                    f"{event.detail}: {event.taint.describe()}"
+                )
+    return 0
+
 __all__ = ["main", "build_parser"]
 
 
@@ -52,6 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule inventory and exit",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help="also report (as SML000) suppression comments that waive nothing",
+    )
+    parser.add_argument(
+        "--taint-debug",
+        action="store_true",
+        help="dump the SML007–SML009 taint flows per function and exit",
     )
     return parser
 
@@ -90,6 +143,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    if args.taint_debug:
+        return _taint_debug(args.paths)
+
     try:
         selected = set(_parse_codes(args.select)) if args.select else set(RULE_CODES)
         ignored = set(_parse_codes(args.ignore)) if args.ignore else set()
@@ -98,7 +154,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     active = (selected - ignored) | {"SML000"}  # SML000 findings always surface
 
-    violations, files_checked = lint_paths(args.paths, DEFAULT_CONFIG)
+    violations, files_checked = lint_paths(
+        args.paths,
+        DEFAULT_CONFIG,
+        report_unused_suppressions=args.report_unused_suppressions,
+    )
     violations = [v for v in violations if v.code in active]
     counts = Counter(v.code for v in violations)
 

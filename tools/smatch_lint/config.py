@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Pattern, Tuple
+from typing import FrozenSet, Pattern, Tuple
 
 __all__ = ["LintConfig", "DEFAULT_CONFIG"]
 
@@ -43,6 +43,13 @@ _PUBLIC_NAME_RE = re.compile(
 _LOGGER_NAME_RE = re.compile(
     r"(?:^|_)(?:log|logs|logger|loggers|logging)(?:_|$)",
     re.IGNORECASE,
+)
+
+#: Constructors whose instances are wire messages (SML008): any tainted
+#: value handed to one of these becomes part of a response's observable
+#: encoding.  Matched against the bare class name at the call site.
+_WIRE_MESSAGE_CTOR_RE = re.compile(
+    r"(?:Message|Request|Response|Result|Entry|Info)$"
 )
 
 
@@ -88,6 +95,96 @@ class LintConfig:
     #: (a length or type name leaks no key material).
     value_laundering_calls: Tuple[str, ...] = ("len", "type", "bool", "isinstance")
 
+    # -- SML007–SML009: secret-flow taint tracking --------------------------------
+
+    #: Path fragments where the taint rules apply: the honest-but-curious
+    #: server's message handlers, whose timing, wire fields, and response
+    #: sizes the §IV adversary observes.
+    taint_scope_fragments: Tuple[str, ...] = (
+        "repro/net/",
+        "repro/server/",
+    )
+
+    #: Registered secret-bearing APIs: calling any of these yields secret
+    #: material (taint sources beyond the name heuristics).  ``ProfileKey``
+    #: and the KDF family produce key material; ``blind`` mints the OPRF
+    #: blinding factor; ``evaluate_blinded``/``unblinded_evaluate`` apply
+    #: the key service's private RSA exponent.
+    taint_source_calls: Tuple[str, ...] = (
+        "ProfileKey",
+        "ProfileKeygen",
+        "derive",
+        "derive_from_values",
+        "subkey",
+        "hkdf",
+        "prf",
+        "blind",
+        "evaluate_blinded",
+        "unblinded_evaluate",
+    )
+
+    #: Secret-bearing *method* names only matched on attribute calls —
+    #: ``cipher.open(...)`` yields plaintext, but the ``open`` builtin
+    #: (a bare name) opens files and stays clean.
+    taint_source_methods: Tuple[str, ...] = ("open",)
+
+    #: Sanitizers: calls whose results are public regardless of inputs.
+    #: ``constant_time_eq`` yields the protocol-mandated accept/reject
+    #: bit; hashing commits without revealing; the value launders above
+    #: are folded in by :meth:`is_taint_sanitizer`.
+    taint_sanitizer_calls: Tuple[str, ...] = (
+        "constant_time_eq",
+        "sha256",
+        "sha384",
+        "sha512",
+        "sha3_256",
+        "blake2b",
+        "blake2s",
+        "hash_to_int",
+        "hash_to_range",
+        "digest",
+        "hexdigest",
+        "redact",
+    )
+
+    #: Approved encrypt/blind calls for SML008: their outputs are
+    #: ciphertext (or blinded group elements) and may legitimately reach
+    #: serialization and transport sinks.
+    wire_approved_calls: Tuple[str, ...] = (
+        "seal",
+        "encrypt",
+        "encrypt_block",
+        "ctr_xcrypt",
+    )
+
+    #: Serialization / transport sinks for SML008: tainted values must not
+    #: reach these (``repro.utils.serial`` encoders, transport ``send``,
+    #: ``struct.pack``).
+    wire_sink_calls: Tuple[str, ...] = (
+        "write_int",
+        "write_bytes",
+        "write_str",
+        "send",
+        "sendall",
+        "pack",
+    )
+
+    #: SML008 — wire-message constructor name pattern (see module docs).
+    wire_message_ctor_re: Pattern[str] = field(default=_WIRE_MESSAGE_CTOR_RE)
+
+    #: SML009 — calls whose (first) argument sets an observable size:
+    #: ``bytes(n)`` / ``bytearray(n)`` allocate n zero bytes, ``range(n)``
+    #: drives padding and batch loops.
+    size_sink_calls: Tuple[str, ...] = ("bytes", "bytearray", "range")
+
+    #: Per-path rule ignore sets: ``(path fragment, rule codes)`` pairs.
+    #: Test code asserts on equality of freshly derived keys (that *is*
+    #: the test) and seeds module-level randomness for reproducibility, so
+    #: SML001/SML002 stay off under ``tests/``; everything else applies.
+    path_rule_ignores: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+        ("tests/", ("SML001", "SML002")),
+    )
+
     def is_rand_facade(self, posix_path: str) -> bool:
         """True when ``posix_path`` is the randomness facade module."""
         return posix_path.endswith(self.rand_facade_suffixes)
@@ -113,6 +210,46 @@ class LintConfig:
     def is_logger_name(self, identifier: str) -> bool:
         """True when an identifier plausibly names a logger (SML006)."""
         return bool(self.logger_name_re.search(identifier))
+
+    # -- SML007–SML009 helpers ----------------------------------------------------
+
+    def is_taint_scope(self, posix_path: str) -> bool:
+        """True when the taint rules apply to this file."""
+        return any(frag in posix_path for frag in self.taint_scope_fragments)
+
+    def is_taint_source_call(self, name: str, is_method: bool = False) -> bool:
+        """True when a call to ``name`` yields secret material."""
+        if name in self.taint_source_calls:
+            return True
+        return is_method and name in self.taint_source_methods
+
+    def is_taint_sanitizer(self, name: str) -> bool:
+        """True when a call to ``name`` launders taint (public result)."""
+        return (
+            name in self.taint_sanitizer_calls
+            or name in self.value_laundering_calls
+            or name in self.wire_approved_calls
+        )
+
+    def is_wire_sink(self, name: str) -> bool:
+        """True when a call to ``name`` writes to the wire (SML008)."""
+        return name in self.wire_sink_calls
+
+    def is_wire_message_ctor(self, name: str) -> bool:
+        """True when ``name`` constructs a wire message (SML008)."""
+        return bool(self.wire_message_ctor_re.search(name))
+
+    def is_size_sink(self, name: str) -> bool:
+        """True when a call's first argument sets a size (SML009)."""
+        return name in self.size_sink_calls
+
+    def ignored_rules_for_path(self, posix_path: str) -> FrozenSet[str]:
+        """Rule codes switched off for this path (test-specific set)."""
+        ignored = set()
+        for fragment, codes in self.path_rule_ignores:
+            if fragment in posix_path:
+                ignored.update(codes)
+        return frozenset(ignored)
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -1,15 +1,20 @@
 """Lint engine: file discovery, suppression parsing, rule dispatch.
 
-Suppression syntax (mirrors the familiar ``# noqa`` shape but named, so a
+Comment directives (mirrors the familiar ``# noqa`` shape but named, so a
 grep for ``smatch-lint:`` audits every waiver):
 
 * ``some_code()  # smatch-lint: disable=SML002`` — suppress the listed
   rule(s) on that line only; comma-separate multiple codes.
 * ``# smatch-lint: disable-file=SML003`` — anywhere in a file, suppress the
   rule(s) for the whole file.
+* ``key = derive(...)  # smatch-lint: secret`` — mark the assignment on
+  this line as a taint *source* for the SML007–SML009 secret-flow rules
+  (for secrets whose names the heuristics cannot see).
 
 Directives naming unknown rule codes are themselves reported (as
-``SML000``), so typos cannot silently waive nothing.
+``SML000``), so typos cannot silently waive nothing.  Suppressions that no
+longer match any finding can be flagged with
+``--report-unused-suppressions`` and should be removed.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ __all__ = ["Violation", "lint_source", "lint_paths", "iter_python_files"]
 _DIRECTIVE_RE = re.compile(
     r"#\s*smatch-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
 )
+
+_SECRET_RE = re.compile(r"#\s*smatch-lint:\s*secret\b")
 
 
 @dataclass(frozen=True, order=True)
@@ -57,19 +64,28 @@ class Violation:
         }
 
 
-def _parse_suppressions(
+def _parse_directives(
     source: str, path: str
-) -> Tuple[Dict[int, Set[str]], Set[str], List[Violation]]:
-    """Extract per-line and file-wide suppressions from comments."""
+) -> Tuple[Dict[int, Set[str]], Dict[str, int], Set[int], List[Violation]]:
+    """Extract suppressions and secret annotations from comments.
+
+    Returns ``(per_line, file_wide, secret_lines, problems)`` where
+    ``file_wide`` maps each file-wide-suppressed code to the directive's
+    line (for unused-suppression reporting).
+    """
     per_line: Dict[int, Set[str]] = {}
-    file_wide: Set[str] = set()
+    file_wide: Dict[str, int] = {}
+    secret_lines: Set[int] = set()
     problems: List[Violation] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return per_line, file_wide, problems  # ast.parse reports the real error
+        return per_line, file_wide, secret_lines, problems  # ast.parse reports it
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
+            continue
+        if _SECRET_RE.search(tok.string):
+            secret_lines.add(tok.start[0])
             continue
         match = _DIRECTIVE_RE.search(tok.string)
         if not match:
@@ -91,19 +107,27 @@ def _parse_suppressions(
             )
         known = codes & set(RULE_CODES)
         if match.group("scope"):
-            file_wide |= known
+            for code in known:
+                file_wide.setdefault(code, tok.start[0])
         else:
             per_line.setdefault(tok.start[0], set()).update(known)
-    return per_line, file_wide, problems
+    return per_line, file_wide, secret_lines, problems
 
 
 def lint_source(
-    source: str, path: str, config: LintConfig = DEFAULT_CONFIG
+    source: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    report_unused_suppressions: bool = False,
 ) -> List[Violation]:
     """Lint one source string as if it lived at ``path``.
 
     ``path`` is normalized to POSIX form; rules use it for their
-    path-scoped behavior (facade allowlists, TCB membership, ...).
+    path-scoped behavior (facade allowlists, TCB membership, taint
+    scope, ...).  With ``report_unused_suppressions``, directives that
+    waived nothing are reported as ``SML000`` findings so stale waivers
+    get swept out of the tree.
     """
     posix = path.replace("\\", "/")
     try:
@@ -118,17 +142,60 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    per_line, file_wide, violations = _parse_suppressions(source, posix)
-    ctx = RuleContext(path=posix, config=config)
+    per_line, file_wide, secret_lines, violations = _parse_directives(source, posix)
+    ctx = RuleContext(
+        path=posix, config=config, secret_lines=frozenset(secret_lines)
+    )
+    path_ignored = config.ignored_rules_for_path(posix)
+    used_file_wide: Set[str] = set()
+    used_per_line: Dict[int, Set[str]] = {}
+    ran_codes: Set[str] = set()
     for rule_cls in RULES:
         rule = rule_cls()
-        if rule.code in file_wide:
+        if rule.code in path_ignored:
             continue
+        ran_codes.add(rule.code)
         for line, col, message in rule.check(tree, ctx):
+            if rule.code in file_wide:
+                used_file_wide.add(rule.code)
+                continue
             if rule.code in per_line.get(line, ()):
+                used_per_line.setdefault(line, set()).add(rule.code)
                 continue
             violations.append(
                 Violation(path=posix, line=line, col=col, code=rule.code, message=message)
+            )
+    if report_unused_suppressions:
+        for line, codes in sorted(per_line.items()):
+            for code in sorted(codes & ran_codes):
+                if code in used_per_line.get(line, ()) or code in file_wide:
+                    continue
+                violations.append(
+                    Violation(
+                        path=posix,
+                        line=line,
+                        col=1,
+                        code="SML000",
+                        message=(
+                            f"unused suppression of {code} — nothing on this "
+                            "line triggers it; remove the stale directive"
+                        ),
+                    )
+                )
+        for code, line in sorted(file_wide.items()):
+            if code in used_file_wide or code not in ran_codes:
+                continue
+            violations.append(
+                Violation(
+                    path=posix,
+                    line=line,
+                    col=1,
+                    code="SML000",
+                    message=(
+                        f"unused file-wide suppression of {code} — no finding "
+                        "in this file triggers it; remove the stale directive"
+                    ),
+                )
             )
     return sorted(violations)
 
@@ -150,7 +217,10 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path], config: LintConfig = DEFAULT_CONFIG
+    paths: Iterable[Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    report_unused_suppressions: bool = False,
 ) -> Tuple[List[Violation], int]:
     """Lint every python file under ``paths``.
 
@@ -167,5 +237,12 @@ def lint_paths(
         except ValueError:
             rel = file_path
         source = file_path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, rel.as_posix(), config))
+        violations.extend(
+            lint_source(
+                source,
+                rel.as_posix(),
+                config,
+                report_unused_suppressions=report_unused_suppressions,
+            )
+        )
     return sorted(violations), len(files)

@@ -1,4 +1,4 @@
-"""The six smatch-lint rules.
+"""The nine smatch-lint rules.
 
 Each rule is a class with a ``code``, a one-line summary (the first docstring
 line, shown by ``--list-rules``), and a ``check`` method yielding
@@ -11,9 +11,10 @@ snippets.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Type
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
 
+from tools.smatch_lint import taint
 from tools.smatch_lint.config import LintConfig
 
 __all__ = ["RuleContext", "Rule", "RULES", "RULE_CODES"]
@@ -28,6 +29,11 @@ class RuleContext:
     #: normalized POSIX path (relative to the repo root when possible)
     path: str
     config: LintConfig
+    #: lines carrying an explicit ``# smatch-lint: secret`` annotation —
+    #: assignments on these lines become taint sources for SML007–SML009
+    secret_lines: FrozenSet[int] = frozenset()
+    #: per-file scratch space so the taint rules share one dataflow pass
+    cache: Dict[str, object] = field(default_factory=dict, compare=False)
 
 
 class Rule:
@@ -395,6 +401,106 @@ class SecretLoggingRule(Rule):
                         )
 
 
+class _TaintRule(Rule):
+    """Shared base for the SML007–SML009 secret-flow rules.
+
+    All three run the same forward taint analysis (one shared pass per
+    file via ``ctx.cache``) and differ only in which sink contexts they
+    report and how they phrase the finding.
+    """
+
+    #: taint event contexts this rule reports
+    contexts: Tuple[str, ...] = ()
+
+    def describe(self, event: "taint.TaintEvent") -> str:
+        raise NotImplementedError
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.config.is_taint_scope(ctx.path):
+            return
+        module = taint.analyze_module(tree, ctx)
+        seen = set()
+        for _fn, event in module.events(*self.contexts):
+            key = (event.line, event.col, event.taint.source, event.taint.kind)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield (event.line, event.col, self.describe(event))
+
+
+class TaintTimingRule(_TaintRule):
+    """SML007: secrets must not steer control flow in net/server handlers.
+
+    The matching server is honest-but-curious (paper §IV): a branch,
+    loop bound, early return, or exception path conditioned on secret
+    material changes the handler's observable timing, and low-entropy
+    attributes mean even a few leaked bits prune the plaintext space
+    (the frequency-analysis attacks of arXiv:1207.7199).  Taint flows
+    from secret-named parameters/attributes, ``# smatch-lint: secret``
+    annotations, and registered secret-bearing APIs; ``constant_time_eq``
+    and hashing launder it.  Restructure the handler so control flow
+    depends only on public values, or sanitize first.
+    """
+
+    code = "SML007"
+    contexts = ("branch", "loop-iter")
+
+    def describe(self, event: "taint.TaintEvent") -> str:
+        shape = {
+            "branch": f"steers a {event.detail} condition",
+            "loop-iter": "drives a loop iteration",
+        }[event.context]
+        return (
+            f"{event.taint.describe()} {shape} — secret-dependent "
+            "timing in a handler; make control flow public or sanitize "
+            "(constant_time_eq, hash) first"
+        )
+
+
+class TaintWireRule(_TaintRule):
+    """SML008: secrets must not reach serialization or transport sinks.
+
+    Anything handed to the ``repro.utils.serial`` encoders, a transport
+    ``send``, or a wire-message constructor becomes part of a message an
+    eavesdropper (or the curious server) stores and analyzes.  Secret
+    material may only cross the wire after an approved encrypt/blind
+    call (``seal``, ``encrypt``, ``blind``, ...) — ciphertext is fine,
+    key material is the key-sharing problem the scheme exists to solve.
+    """
+
+    code = "SML008"
+    contexts = ("wire",)
+
+    def describe(self, event: "taint.TaintEvent") -> str:
+        return (
+            f"{event.taint.describe()} reaches wire sink "
+            f"{event.detail!r} — only ciphertext may be serialized; "
+            "pass the value through an approved encrypt/blind call"
+        )
+
+
+class TaintSizeRule(_TaintRule):
+    """SML009: secrets must not parameterize observable response sizes.
+
+    Message and padding sizes survive encryption: a ``bytes(n)``
+    allocation, ``range(n)`` padding loop, or ``b"\\x00" * n`` repetition
+    whose count is secret-tainted shows up as a ciphertext length the
+    §IV eavesdropper reads directly (the profile-matching risk
+    quantification of arXiv:2009.03698 is built on exactly such
+    observables).  Pad to a public maximum instead.
+    """
+
+    code = "SML009"
+    contexts = ("size",)
+
+    def describe(self, event: "taint.TaintEvent") -> str:
+        return (
+            f"{event.taint.describe()} sets an observable size "
+            f"({event.detail}) — response sizes survive encryption; "
+            "derive sizes from public parameters or pad to a fixed bound"
+        )
+
+
 RULES: Tuple[Type[Rule], ...] = (
     RandomImportRule,
     SecretEqualityRule,
@@ -402,6 +508,9 @@ RULES: Tuple[Type[Rule], ...] = (
     ImportLayeringRule,
     ExceptionHygieneRule,
     SecretLoggingRule,
+    TaintTimingRule,
+    TaintWireRule,
+    TaintSizeRule,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)

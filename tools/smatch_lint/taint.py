@@ -1,0 +1,625 @@
+"""Forward taint propagation over def-use chains (rules SML007–SML009).
+
+The §IV threat model makes the matching server honest-but-curious: any
+secret-dependent branch, loop bound, wire field, or response size in the
+``net/`` and ``server/`` handlers is an observable side channel.  The
+pattern rules SML001–SML006 catch single-expression mistakes; this module
+tracks *flows* — a secret parameter copied into a local, returned from a
+helper, and finally compared in a branch is still a leak three hops later.
+
+Model
+-----
+
+* **Sources** — values that carry secret material:
+
+  - parameters / attribute reads whose names match the SML002/SML006
+    secret heuristics (``key``, ``secret``, ``tag``, ...),
+  - any assignment on a line annotated ``# smatch-lint: secret``,
+  - results of registered secret-bearing APIs (``ProfileKey``, ``hkdf``,
+    ``prf``, OPRF ``blind``/``evaluate_blinded``, AEAD ``open``, ...).
+
+* **Sanitizers** — calls whose results are public regardless of input:
+  ``constant_time_eq`` (the protocol-mandated accept/reject bit),
+  hashing/digest calls, the ``len``/``type``/``bool`` launders, and the
+  approved encrypt/blind calls (``seal``/``encrypt``/...) whose outputs
+  are ciphertext and may reach the wire.
+
+* **Propagation** — a forward may-analysis over the per-function CFG from
+  :mod:`tools.smatch_lint.cfg`: assignments copy taint, joins union it, a
+  clean re-assignment on every path kills it.  Calls to functions defined
+  in the same module use **summaries** (which parameters flow into the
+  return value), computed to fixpoint, so multi-hop flows through local
+  helpers are tracked; unknown calls conservatively propagate the union
+  of their argument and receiver taints.
+
+* **Sinks** — recorded as :class:`TaintEvent` entries and mapped to rules
+  by context: branch/loop/exception control flow (SML007), serialization
+  and transport calls plus wire-message constructors (SML008), and
+  size-producing expressions — ``bytes(n)``, ``range(n)``, sequence
+  repetition, ``int.to_bytes`` widths (SML009).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from tools.smatch_lint.cfg import build_cfg
+
+__all__ = [
+    "Taint",
+    "TaintEvent",
+    "FunctionSummary",
+    "FunctionTaint",
+    "ModuleTaint",
+    "analyze_module",
+]
+
+#: Taint kind for the synthetic per-parameter marker used only to compute
+#: function summaries; never reported to users.
+_FORMAL = "formal"
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One provenance record: where a value's secrecy came from.
+
+    ``kind`` is one of ``param`` / ``name`` / ``attribute`` (the name
+    heuristics), ``annotation`` (an explicit ``# smatch-lint: secret``
+    line), ``call`` (a registered secret-bearing API), or the internal
+    ``formal`` marker.  ``via`` records the variable hops for messages and
+    ``--taint-debug``.
+    """
+
+    source: str
+    kind: str
+    via: Tuple[str, ...] = ()
+
+    def hop(self, name: str) -> "Taint":
+        """The same taint, one propagation hop later.
+
+        The hop chain is deduplicated and capped so the set of distinct
+        taints per function is finite — otherwise assignments inside a
+        loop would grow ``via`` forever and the fixpoint could not
+        converge.
+        """
+        if name == self.source or name in self.via or len(self.via) >= 4:
+            return self
+        return Taint(self.source, self.kind, self.via + (name,))
+
+    def describe(self) -> str:
+        """Human-readable provenance for rule messages."""
+        origin = {
+            "param": f"secret parameter {self.source!r}",
+            "name": f"secret-named value {self.source!r}",
+            "attribute": f"secret attribute {self.source!r}",
+            "annotation": f"value marked '# smatch-lint: secret' ({self.source})",
+            "call": f"secret-bearing call {self.source}()",
+        }.get(self.kind, f"{self.source!r}")
+        if self.via:
+            return f"{origin} via {' -> '.join(self.via)}"
+        return origin
+
+
+TaintSet = FrozenSet[Taint]
+_EMPTY: TaintSet = frozenset()
+
+#: variable environment: name (or dotted attribute path) -> taints
+Env = Dict[str, TaintSet]
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """A tainted value reaching an observable sink."""
+
+    line: int
+    col: int
+    #: ``branch`` | ``loop-iter`` | ``wire`` | ``size`` | ``return``
+    context: str
+    taint: Taint
+    #: sink detail (call name, ``if``/``while``, ...) for the message
+    detail: str
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Interprocedural summary: how a function's return relates to inputs."""
+
+    params: Tuple[str, ...]
+    #: parameter names whose taint reaches the return value
+    flows: FrozenSet[str]
+    #: True when the return value is tainted independent of the arguments
+    returns_secret: bool
+
+    def merge(self, other: "FunctionSummary") -> "FunctionSummary":
+        """Conservative union of two summaries sharing a name."""
+        return FunctionSummary(
+            params=self.params,
+            flows=self.flows | other.flows,
+            returns_secret=self.returns_secret or other.returns_secret,
+        )
+
+
+@dataclass
+class FunctionTaint:
+    """The analysis result for one function."""
+
+    qualname: str
+    lineno: int
+    events: List[TaintEvent]
+    summary: FunctionSummary
+    exit_env: Env
+
+    def real_events(self) -> List[TaintEvent]:
+        """Events caused by real sources (summary markers filtered out)."""
+        return [e for e in self.events if e.taint.kind != _FORMAL]
+
+
+@dataclass
+class ModuleTaint:
+    """All per-function results of one module."""
+
+    functions: List[FunctionTaint] = field(default_factory=list)
+
+    def events(self, *contexts: str) -> Iterable[Tuple[FunctionTaint, TaintEvent]]:
+        """Real-source events across the module, filtered by context."""
+        wanted = set(contexts)
+        for fn in self.functions:
+            for event in fn.real_events():
+                if event.context in wanted:
+                    yield fn, event
+
+
+def _join(a: Env, b: Env) -> Env:
+    """Key-wise union of two environments."""
+    if not a:
+        return dict(b)
+    out = dict(a)
+    for name, taints in b.items():
+        out[name] = out.get(name, _EMPTY) | taints
+    return out
+
+
+def _real(taints: TaintSet) -> List[Taint]:
+    return [t for t in taints if t.kind != _FORMAL]
+
+
+def _at(node: ast.AST) -> Tuple[int, int]:
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1
+
+
+class _FunctionAnalysis:
+    """Fixpoint taint analysis of a single function body."""
+
+    def __init__(
+        self,
+        func: _FuncDef,
+        qualname: str,
+        ctx: "object",
+        summaries: Dict[str, FunctionSummary],
+    ) -> None:
+        self.func = func
+        self.qualname = qualname
+        self.ctx = ctx
+        self.config = ctx.config  # type: ignore[attr-defined]
+        self.secret_lines: FrozenSet[int] = getattr(ctx, "secret_lines", frozenset())
+        self.summaries = summaries
+        self.events: List[TaintEvent] = []
+        self.return_taints: TaintSet = _EMPTY
+        self._collecting = False
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self) -> FunctionTaint:
+        cfg = build_cfg(self.func)
+        entry_env = self._initial_env()
+        in_envs: Dict[int, Env] = {cfg.ENTRY: entry_env}
+        out_envs: Dict[int, Env] = {}
+        worklist = [cfg.ENTRY]
+        iterations = 0
+        limit = 50 * (len(cfg.nodes) + 1)
+        while worklist and iterations < limit:
+            iterations += 1
+            idx = worklist.pop()
+            in_env = in_envs.get(idx, {})
+            out_env = self._transfer(cfg.statement(idx), in_env)
+            if out_envs.get(idx) == out_env:
+                continue
+            out_envs[idx] = out_env
+            for succ, _kind in cfg.succs.get(idx, ()):  # propagate
+                merged = _join(in_envs.get(succ, {}), out_env)
+                if merged != in_envs.get(succ, {}):
+                    in_envs[succ] = merged
+                    worklist.append(succ)
+        # second pass: stable environments, now record events
+        self._collecting = True
+        for idx in cfg.indices():
+            stmt = cfg.statement(idx)
+            if stmt is None:
+                continue
+            self._transfer(stmt, in_envs.get(idx, {}))
+        self._collecting = False
+        params = self._param_names()
+        flows = frozenset(
+            t.source for t in self.return_taints if t.kind == _FORMAL
+        )
+        summary = FunctionSummary(
+            params=params,
+            flows=flows & frozenset(params),
+            returns_secret=bool(_real(self.return_taints)),
+        )
+        return FunctionTaint(
+            qualname=self.qualname,
+            lineno=self.func.lineno,
+            events=self.events,
+            summary=summary,
+            exit_env=in_envs.get(cfg.EXIT, {}),
+        )
+
+    def _param_names(self) -> Tuple[str, ...]:
+        a = self.func.args
+        names = [p.arg for p in [*a.posonlyargs, *a.args, *a.kwonlyargs]]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return tuple(names)
+
+    def _initial_env(self) -> Env:
+        env: Env = {}
+        params = self._param_names()
+        skip_self = params[:1] if params[:1] in (("self",), ("cls",)) else ()
+        for name in params:
+            taints = {Taint(name, _FORMAL)}
+            if name not in skip_self and self.config.is_secret_name(name):
+                taints.add(Taint(name, "param"))
+            env[name] = frozenset(taints)
+        return env
+
+    # -- statement transfer -----------------------------------------------------
+
+    def _transfer(self, stmt: Optional[ast.AST], env: Env) -> Env:
+        env = dict(env)
+        if stmt is None:
+            return env
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assign(stmt, env)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            taints = self._eval(stmt.test, env)
+            self._branch_event(stmt.test, taints, "if" if isinstance(stmt, ast.If) else "while")
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taints = self._eval(stmt.iter, env)
+            self._emit(stmt.iter, "loop-iter", taints, "for")
+            self._bind(stmt.target, taints, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints, env)
+        elif isinstance(stmt, ast.Return):
+            taints = self._eval(stmt.value, env) if stmt.value else _EMPTY
+            if self._collecting:
+                self.return_taints |= taints
+                self._emit(stmt, "return", taints, "return")
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env[stmt.name] = _EMPTY
+        elif isinstance(stmt, ast.Assert):
+            taints = self._eval(stmt.test, env)
+            self._branch_event(stmt.test, taints, "assert")
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            taints = self._eval(stmt.subject, env)  # type: ignore[attr-defined]
+            self._branch_event(stmt.subject, taints, "match")  # type: ignore[attr-defined]
+        return env
+
+    def _assign(
+        self,
+        stmt: Union[ast.Assign, ast.AnnAssign, ast.AugAssign],
+        env: Env,
+    ) -> None:
+        value = stmt.value
+        taints = self._eval(value, env) if value is not None else _EMPTY
+        if stmt.lineno in self.secret_lines or (
+            value is not None and value.lineno in self.secret_lines
+        ):
+            taints = taints | frozenset(
+                {Taint(f"line {stmt.lineno}", "annotation")}
+            )
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind(target, taints, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if value is not None:
+                self._bind(stmt.target, taints, env)
+        else:  # AugAssign: x += v keeps any existing taint
+            key = self._target_key(stmt.target)
+            if key is not None:
+                env[key] = env.get(key, _EMPTY) | taints
+
+    def _bind(self, target: ast.expr, taints: TaintSet, env: Env) -> None:
+        """Strong update for names/attributes, weak for subscripts."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taints, env)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, taints, env)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self._target_key(target.value)
+            if base is not None:
+                env[base] = env.get(base, _EMPTY) | taints
+            return
+        key = self._target_key(target)
+        if key is None:
+            return
+        hopped = frozenset(t.hop(key) for t in taints)
+        env[key] = hopped  # strong update: clean value kills old taint
+
+    @staticmethod
+    def _target_key(node: ast.expr) -> Optional[str]:
+        """A stable env key for a name or dotted attribute target."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            parts: List[str] = [node.attr]
+            value = node.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                parts.append(value.id)
+                return ".".join(reversed(parts))
+        return None
+
+    # -- expression evaluation --------------------------------------------------
+
+    def _eval(self, node: Optional[ast.expr], env: Env) -> TaintSet:
+        """Taint of an expression; emits sink events while collecting."""
+        if node is None:
+            return _EMPTY
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            # SCREAMING_CASE identifiers are constants (message tags,
+            # sizes) — public by convention, never runtime secrets
+            if not node.id.isupper() and self.config.is_secret_name(node.id):
+                return frozenset({Taint(node.id, "name")})
+            return _EMPTY
+        if isinstance(node, ast.Attribute):
+            key = self._target_key(node)
+            if key is not None and key in env:
+                return env[key]
+            if not node.attr.isupper() and self.config.is_secret_name(node.attr):
+                return frozenset({Taint(node.attr, "attribute")})
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            if isinstance(node.op, ast.Mult):
+                self._repeat_event(node, left, right)
+            return left | right
+        if isinstance(node, ast.IfExp):
+            test = self._eval(node.test, env)
+            self._branch_event(node.test, test, "conditional expression")
+            # the selected value depends on the test: implicit flow
+            return test | self._eval(node.body, env) | self._eval(node.orelse, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._comprehension(node, env)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY  # deferred execution; bodies analyzed when called
+        if isinstance(node, ast.NamedExpr):
+            taints = self._eval(node.value, env)
+            self._bind(node.target, taints, env)
+            return taints
+        # generic fallback: union over child expressions (BoolOp, Compare,
+        # UnaryOp, JoinedStr, Subscript, Tuple, Starred, Await, ...)
+        out = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self._eval(child, env)
+        return out
+
+    def _comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp],
+        env: Env,
+    ) -> TaintSet:
+        local = dict(env)
+        out = _EMPTY
+        for gen in node.generators:
+            iter_taints = self._eval(gen.iter, local)
+            out |= iter_taints
+            self._bind(gen.target, iter_taints, local)
+            for cond in gen.ifs:
+                cond_taints = self._eval(cond, local)
+                # a tainted filter shapes the element count: size + timing
+                self._branch_event(cond, cond_taints, "comprehension filter")
+                out |= cond_taints
+        if isinstance(node, ast.DictComp):
+            out |= self._eval(node.key, local) | self._eval(node.value, local)
+        else:
+            out |= self._eval(node.elt, local)
+        return out
+
+    # -- calls ------------------------------------------------------------------
+
+    def _call(self, node: ast.Call, env: Env) -> TaintSet:
+        func = node.func
+        if isinstance(func, ast.Name):
+            fname: Optional[str] = func.id
+            is_method = False
+            recv_taints = _EMPTY
+        elif isinstance(func, ast.Attribute):
+            fname = func.attr
+            is_method = True
+            recv_taints = self._eval(func.value, env)
+        else:
+            fname = None
+            is_method = False
+            recv_taints = self._eval(func, env)
+
+        arg_exprs: List[ast.expr] = [*node.args, *[k.value for k in node.keywords]]
+        arg_taints = [self._eval(arg, env) for arg in arg_exprs]
+
+        config = self.config
+        if fname is not None and self._collecting:
+            if config.is_wire_sink(fname) or config.is_wire_message_ctor(fname):
+                for arg, taints in zip(arg_exprs, arg_taints):
+                    self._emit(arg, "wire", taints, fname)
+            if config.is_size_sink(fname) and not is_method and arg_taints:
+                self._emit(arg_exprs[0], "size", arg_taints[0], f"{fname}()")
+            if fname == "to_bytes" and is_method and node.args:
+                self._emit(
+                    node.args[0], "size", arg_taints[0], "to_bytes() width"
+                )
+
+        if fname is not None:
+            if config.is_taint_sanitizer(fname):
+                return _EMPTY
+            if config.is_taint_source_call(fname, is_method=is_method):
+                return frozenset({Taint(fname, "call")})
+            # summaries are keyed by bare name, so only apply one when the
+            # call plausibly targets the same-module definition: a bare
+            # ``helper(...)`` or a ``self.method(...)`` — not a method on
+            # some other object that merely shares the name
+            if not is_method or (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+            ):
+                summary = self.summaries.get(fname)
+                if summary is not None:
+                    return self._apply_summary(
+                        summary, fname, node, arg_exprs, arg_taints
+                    )
+        # unknown call: conservatively union receiver and argument taints
+        out = recv_taints
+        for taints in arg_taints:
+            out |= taints
+        return out
+
+    def _apply_summary(
+        self,
+        summary: FunctionSummary,
+        fname: str,
+        node: ast.Call,
+        arg_exprs: Sequence[ast.expr],
+        arg_taints: Sequence[TaintSet],
+    ) -> TaintSet:
+        out: TaintSet = _EMPTY
+        if summary.returns_secret:
+            out |= frozenset({Taint(fname, "call")})
+        # positional args map onto the summary's parameter list; a bound
+        # method call is matched against the params after an initial self
+        params = list(summary.params)
+        if params[:1] in (["self"], ["cls"]) and isinstance(node.func, ast.Attribute):
+            params = params[1:]
+        for position, taints in enumerate(arg_taints[: len(node.args)]):
+            if position < len(params) and params[position] in summary.flows:
+                out |= taints
+        for keyword, taints in zip(node.keywords, arg_taints[len(node.args):]):
+            if keyword.arg is not None and keyword.arg in summary.flows:
+                out |= taints
+        return out
+
+    # -- events -----------------------------------------------------------------
+
+    def _branch_event(self, node: ast.expr, taints: TaintSet, detail: str) -> None:
+        self._emit(node, "branch", taints, detail)
+
+    def _repeat_event(self, node: ast.BinOp, left: TaintSet, right: TaintSet) -> None:
+        """``b"pad" * n`` / ``[0] * n`` with a tainted count is a size sink."""
+
+        def _is_sequence_display(expr: ast.expr) -> bool:
+            if isinstance(expr, ast.Constant):
+                return isinstance(expr.value, (bytes, str))
+            return isinstance(expr, (ast.List, ast.Tuple))
+
+        if _is_sequence_display(node.left) and right:
+            self._emit(node.right, "size", right, "sequence repetition count")
+        elif _is_sequence_display(node.right) and left:
+            self._emit(node.left, "size", left, "sequence repetition count")
+
+    def _emit(
+        self, node: ast.AST, context: str, taints: TaintSet, detail: str
+    ) -> None:
+        if not self._collecting:
+            return
+        line, col = _at(node)
+        for taint in sorted(taints, key=lambda t: (t.kind, t.source, t.via)):
+            self.events.append(
+                TaintEvent(line=line, col=col, context=context, taint=taint, detail=detail)
+            )
+
+
+def _collect_functions(tree: ast.AST) -> List[Tuple[str, _FuncDef]]:
+    """All function definitions with dotted qualnames, outermost first."""
+    found: List[Tuple[str, _FuncDef]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found.append((qualname, child))
+                visit(child, f"{qualname}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return found
+
+
+_MAX_SUMMARY_ROUNDS = 4
+
+
+def analyze_module(tree: ast.AST, ctx: "object") -> ModuleTaint:
+    """Analyze every function in a module, iterating summaries to fixpoint.
+
+    Results are memoized on ``ctx.cache`` so SML007/SML008/SML009 share
+    one analysis per file.
+    """
+    cache = getattr(ctx, "cache", None)
+    if cache is not None and "taint" in cache:
+        cached: ModuleTaint = cache["taint"]
+        return cached
+    functions = _collect_functions(tree)
+    summaries: Dict[str, FunctionSummary] = {}
+    results: List[FunctionTaint] = []
+    for _round in range(_MAX_SUMMARY_ROUNDS):
+        results = []
+        next_summaries: Dict[str, FunctionSummary] = {}
+        for qualname, func in functions:
+            analysis = _FunctionAnalysis(func, qualname, ctx, summaries)
+            result = analysis.run()
+            results.append(result)
+            name = func.name
+            if name in next_summaries:
+                next_summaries[name] = next_summaries[name].merge(result.summary)
+            else:
+                next_summaries[name] = result.summary
+        if next_summaries == summaries:
+            break
+        summaries = next_summaries
+    module = ModuleTaint(functions=results)
+    if cache is not None:
+        cache["taint"] = module
+    return module
