@@ -5,7 +5,8 @@ hot paths of a running service at the paper's parameters (64-bit
 plaintexts, theta = 8): client enrollment, server query handling, and
 client-side verification — plus the head-to-head pairs of the performance
 layer (docs/PERFORMANCE.md): OPE encryption with the node cache on vs off,
-``enroll_population`` with 1 vs 4 workers, and churn-then-query with the
+``enroll_population`` across execution backends (serial vs GIL-bound
+threads vs a warmed process pool), and churn-then-query with the
 incremental matcher vs a forced full resort.
 
 The suite runs under an active :mod:`repro.obs` metrics registry and ends
@@ -13,11 +14,14 @@ by writing ``benchmarks/results/BENCH_throughput.json`` — measured per-op
 latencies, the comparison ratios under ``speedups``, a machine-speed
 calibration sample, and the metrics snapshot — which
 ``tools/check_perf_trend.py`` compares against the committed baseline in
-CI.
+CI (and, on a >= 4-core runner, enforces the
+``process_enroll_speedup >= 2.0`` floor; the measured value is recorded
+unconditionally).
 """
 
 import hashlib
 import json
+import os
 import time
 
 import pytest
@@ -26,7 +30,12 @@ from repro.datasets import INFOCOM06
 from repro.experiments.common import build_population, build_scheme
 from repro.net.messages import QueryRequest, UploadMessage
 from repro.obs.metrics import disable_metrics, enable_metrics
+from repro.parallel import ProcessBackend, ThreadBackend
 from repro.server.service import SMatchServer
+
+#: Worker count for the multicore head-to-heads (capped: oversubscribing a
+#: small runner just measures scheduler thrash).
+BENCH_WORKERS = min(4, os.cpu_count() or 1)
 
 
 @pytest.fixture(scope="module")
@@ -219,16 +228,34 @@ def test_emit_bench_artifact(world, ope_worlds, metrics_registry, results_dir):
         cache_off.encrypt, ope_profile, ope_key, ope_mapped, iterations=20
     )
 
-    # -- batch enrollment: 1 vs 4 workers, same seed ------------------------
+    # -- batch enrollment: serial vs thread vs process backends, same seed --
+    # Op names enroll_population_w1/w4 predate the backend API and are kept
+    # for baseline continuity (check_perf_trend compares shared op names).
     profiles = [u.profile for u in users]
     enroll_w1 = _timed_us(
-        lambda: scheme.enroll_population(profiles, workers=1, seed=77),
+        lambda: scheme.enroll_population(profiles, backend="serial", seed=77),
         iterations=1,
     )
+    thread_backend = ThreadBackend(BENCH_WORKERS)
     enroll_w4 = _timed_us(
-        lambda: scheme.enroll_population(profiles, workers=4, seed=77),
+        lambda: scheme.enroll_population(
+            profiles, backend=thread_backend, seed=77
+        ),
         iterations=1,
     )
+    thread_backend.close()
+    with ProcessBackend(BENCH_WORKERS) as process_backend:
+        # Warm the pool first so the measurement captures steady-state
+        # fan-out, not one-time worker spawn + key-material transfer.
+        scheme.enroll_population(
+            profiles[:BENCH_WORKERS], backend=process_backend, seed=77
+        )
+        enroll_proc = _timed_us(
+            lambda: scheme.enroll_population(
+                profiles, backend=process_backend, seed=77
+            ),
+            iterations=1,
+        )
 
     # -- matcher churn: incremental maintenance vs forced resort ------------
     _, members = _biggest_group(server)
@@ -264,6 +291,7 @@ def test_emit_bench_artifact(world, ope_worlds, metrics_registry, results_dir):
         "enroll_encrypt_cache_off": encrypt_off,
         "enroll_population_w1": enroll_w1,
         "enroll_population_w4": enroll_w4,
+        "enroll_population_process": enroll_proc,
         "churn_query_incremental": churn_inc,
         "churn_query_resort": churn_res,
     }
@@ -277,8 +305,12 @@ def test_emit_bench_artifact(world, ope_worlds, metrics_registry, results_dir):
         "ope_cache_encrypt": ratio(encrypt_off, encrypt_on),
         "incremental_churn_query": ratio(churn_res, churn_inc),
         # informational: thread workers are GIL-bound in pure Python, the
-        # workers=N contract is determinism, not wall-clock
+        # ThreadBackend contract is determinism, not wall-clock
         "parallel_enroll_w4": ratio(enroll_w1, enroll_w4),
+        # the real multicore win: a warmed process pool sidesteps the GIL
+        # for the OPRF modexps.  CI enforces >= 2.0 on >= 4-core runners
+        # via --min-speedup; recorded unconditionally for trend visibility.
+        "process_enroll_speedup": ratio(enroll_w1, enroll_proc),
     }
 
     if cache_on.ope_cache is not None:
@@ -293,6 +325,7 @@ def test_emit_bench_artifact(world, ope_worlds, metrics_registry, results_dir):
             "theta": scheme.params.theta,
             "query_k": server.query_k,
             "ope_comparison_expansion_bits": 16,
+            "bench_workers": BENCH_WORKERS,
         },
         "calibration_us": _calibration_us(),
         "ops": ops,

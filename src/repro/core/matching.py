@@ -22,7 +22,8 @@ all users within a score radius.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from bisect import bisect_left
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import MatchingError, ParameterError
 from repro.obs.instrument import count_op
@@ -34,6 +35,7 @@ __all__ = [
     "score_table",
     "knn_match",
     "max_distance_match",
+    "position_window",
 ]
 
 UserId = Hashable
@@ -162,6 +164,47 @@ def knn_match(
     ]
     others.sort(key=lambda t: t[:3])
     return [u for _, _, _, u in others[:k]]
+
+
+def position_window(
+    ordered: Sequence[Tuple[int, int]],
+    my_score: int,
+    query_user: int,
+    k: int,
+) -> List[int]:
+    """The paper's position-window selection over a settled group order.
+
+    ``ordered`` is the group's ascending ``(score, user_id)`` order; the
+    querier is located by bisection and the ``k`` neighbours closest by
+    score distance are taken, breaking window asymmetry toward smaller
+    distance (and toward the left on ties) — exactly the loop Algorithm
+    Match runs after SORT/FIND.  Pure function of its arguments, so the
+    server matcher and the bulk-matching worker tasks share it.
+    """
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    pos = bisect_left(ordered, (my_score, query_user))
+    left, right = pos - 1, pos + 1
+    chosen: List[int] = []
+    while len(chosen) < k and (left >= 0 or right < len(ordered)):
+        left_dist = (
+            abs(ordered[left][0] - my_score) if left >= 0 else None
+        )
+        right_dist = (
+            abs(ordered[right][0] - my_score)
+            if right < len(ordered)
+            else None
+        )
+        take_left = right_dist is None or (
+            left_dist is not None and left_dist <= right_dist
+        )
+        if take_left:
+            chosen.append(ordered[left][1])
+            left -= 1
+        else:
+            chosen.append(ordered[right][1])
+            right += 1
+    return chosen
 
 
 def max_distance_match(

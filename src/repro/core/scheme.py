@@ -16,9 +16,9 @@ message's payload.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.chaining import AttributeChainer
 from repro.core.entropy import BigJumpMapper
@@ -178,6 +178,10 @@ class SMatch:
             self.ope_cache = OpeNodeCache()
         else:
             self.ope_cache = ope_cache
+        # Lazily built, then reused for every batch: process backends key
+        # their warm worker pools on context *identity*, so handing the same
+        # spec object to each enroll_population call keeps pools warm.
+        self._enroll_spec: Optional[Any] = None
 
     # -- Definition 5 algorithms ------------------------------------------------
 
@@ -311,29 +315,69 @@ class SMatch:
     def enroll_population(
         self,
         profiles: Sequence[Profile],
-        workers: int = 1,
+        backend: Any = None,
         seed: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> Tuple[Dict[int, EncryptedProfile], Dict[int, ProfileKey]]:
         """Enroll many users; returns (uploads by id, keys by id).
 
-        ``workers > 1`` enrolls profiles on a :class:`ThreadPoolExecutor` in
-        chunks of ``chunk_size`` (default: one balanced slice per worker).
+        ``backend`` selects the execution substrate (:mod:`repro.parallel`):
+        a backend name (``"serial"``/``"thread"``/``"process"``) or instance.
+        ``backend=None`` falls back to the process default
+        (:func:`repro.parallel.default_backend`, i.e. the ``SMATCH_BACKEND``
+        env / CLI ``--backend`` flag), else the legacy sequential path.
+        Enrollment is OPRF-modexp-bound pure-Python compute, so only the
+        **process** backend buys wall-clock speedup — thread workers stay
+        GIL-serialized and exist for determinism testing and API symmetry
+        (see docs/PERFORMANCE.md, "Execution backends").
+
         Each profile is enrolled under its own randomness source whose seed
         is a pure function of ``(seed, user_id)`` (:func:`profile_enroll_seed`),
-        so a seeded run produces byte-identical uploads for *any* worker
-        count or chunking — the property ``tests/test_scheme_batch.py``
-        pins.  With ``seed=None`` the per-profile seeds are drawn from the
-        scheme RNG up front, which keeps the parallel path deterministic
-        under a seeded ``SMatch`` and keeps worker threads off the shared
-        (non-thread-safe) source.
+        so a seeded run produces byte-identical uploads for *any* backend,
+        worker count, or ``chunk_size`` (default: one balanced slice per
+        worker) — the property ``tests/test_scheme_batch.py`` and
+        ``tests/test_parallel_backends.py`` pin.  With ``seed=None`` the
+        per-profile seeds are drawn from the scheme RNG up front, which
+        keeps the parallel path deterministic under a seeded ``SMatch`` and
+        keeps workers off the shared (non-thread-safe) source.
 
-        ``workers=1, seed=None`` is the legacy fully-sequential path using
-        the instance RNG directly, preserved bit-for-bit for existing
-        seeded callers.
+        No ``backend``/``workers``/``seed`` is the legacy fully-sequential
+        path using the instance RNG directly, preserved bit-for-bit for
+        existing seeded callers.
+
+        ``workers=N`` is deprecated: it maps to ``backend="thread"`` sized
+        ``N`` (``N=1`` → serial semantics) and warns.
         """
-        if workers < 1:
-            raise ParameterError("workers must be >= 1")
+        from repro.parallel import (
+            EnrollSpec,
+            SerialBackend,
+            TaskEnvelope,
+            ThreadBackend,
+            balanced_chunk_size,
+            default_backend,
+            enroll_chunk,
+            partition_chunks,
+            resolve_backend,
+        )
+
+        if workers is not None:
+            if workers < 1:
+                raise ParameterError("workers must be >= 1")
+            warnings.warn(
+                "enroll_population(workers=...) is deprecated; pass "
+                "backend='thread'/'process' (or an ExecutionBackend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if backend is not None:
+                raise ParameterError(
+                    "pass either backend= or the deprecated workers=, not both"
+                )
+            if workers > 1:
+                backend = ThreadBackend(workers)
+            elif seed is not None:
+                backend = SerialBackend()
         if chunk_size is not None and chunk_size < 1:
             raise ParameterError("chunk_size must be >= 1")
         profiles = list(profiles)
@@ -341,51 +385,42 @@ class SMatch:
         keys: Dict[int, ProfileKey] = {}
         metric_inc("smatch_enroll_batch_profiles_total", len(profiles))
 
-        if workers == 1 and seed is None:
+        exec_backend = (
+            resolve_backend(backend) if backend is not None else default_backend()
+        )
+        if exec_backend is None and seed is None:
             # legacy path: one shared stream, profile order significant
             for profile in profiles:
                 payload, key = self.enroll(profile)
                 uploads[profile.user_id] = payload
                 keys[profile.user_id] = key
             return uploads, keys
+        if exec_backend is None:
+            exec_backend = SerialBackend()
 
         if seed is not None:
-            rngs = [
-                SystemRandomSource(profile_enroll_seed(seed, p.user_id))
-                for p in profiles
-            ]
+            seeds = [profile_enroll_seed(seed, p.user_id) for p in profiles]
         else:
             # unseeded parallel run: draw per-profile seeds sequentially so
             # the result is still deterministic under a seeded SMatch and no
             # worker shares the instance source
-            rngs = [
-                SystemRandomSource(self._rng.getrandbits(64)) for _ in profiles
-            ]
+            seeds = [self._rng.getrandbits(64) for _ in profiles]
 
-        indexed = list(enumerate(profiles))
         if chunk_size is None:
-            chunk_size = max(1, (len(profiles) + workers - 1) // max(workers, 1))
-        chunks = [
-            indexed[start : start + chunk_size]
-            for start in range(0, len(indexed), chunk_size)
-        ]
-
-        def enroll_chunk(
-            chunk: List[Tuple[int, Profile]]
-        ) -> List[Tuple[int, EncryptedProfile, ProfileKey]]:
-            out = []
-            for pos, profile in chunk:
-                payload, key = self.enroll(profile, rng=rngs[pos])
-                out.append((profile.user_id, payload, key))
-            return out
-
-        if workers == 1:
-            results = [enroll_chunk(chunk) for chunk in chunks]
-        else:
+            chunk_size = balanced_chunk_size(
+                len(profiles), exec_backend.workers
+            )
+        chunks = partition_chunks(list(zip(profiles, seeds)), chunk_size)
+        if exec_backend.workers > 1:
             metric_inc("smatch_enroll_batch_chunks_total", len(chunks))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(enroll_chunk, chunks))
-        for chunk_result in results:
+        if self._enroll_spec is None:
+            self._enroll_spec = EnrollSpec.of(self)
+        envelope = TaskEnvelope(
+            fn=enroll_chunk,
+            context=self._enroll_spec,
+            label="scheme.enroll_population",
+        )
+        for chunk_result in exec_backend.map_chunks(envelope, chunks):
             for user_id, payload, key in chunk_result:
                 uploads[user_id] = payload
                 keys[user_id] = key

@@ -23,6 +23,8 @@ __all__ = [
     "ProtocolError",
     "TransportError",
     "DatasetError",
+    "ParallelError",
+    "WorkerCrashError",
 ]
 
 
@@ -84,3 +86,20 @@ class TransportError(ProtocolError):
 
 class DatasetError(ReproError):
     """A dataset is malformed or inconsistent with its declared schema."""
+
+
+class ParallelError(ReproError):
+    """The execution-backend layer could not run a batch of work.
+
+    Raised for orchestration failures (unpicklable task envelopes, a closed
+    backend) — errors raised *inside* a task propagate unchanged so callers
+    keep seeing the library's usual typed exceptions.
+    """
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process died abruptly (signal, ``os._exit``, OOM kill).
+
+    Surfaced instead of hanging on the dead worker's futures; the backend
+    discards the broken pool so the next submission starts fresh workers.
+    """

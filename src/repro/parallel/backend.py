@@ -1,0 +1,488 @@
+"""Pluggable execution backends for CPU-bound bulk work.
+
+The OPRF/modexp-bound hot paths (full enrollment, server-side batched blind
+evaluation, bulk matching) are pure-Python compute: thread pools buy
+determinism and overlap with IO, but the GIL serializes the arithmetic.  A
+:class:`ProcessBackend` breaks out of the interpreter entirely, at the cost
+of a pickling boundary.  All three backends implement one protocol so call
+sites choose a *policy*, not a mechanism:
+
+* :class:`SerialBackend` — run chunks inline, in order (the reference
+  semantics every other backend must reproduce);
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``; useful for IO-bound
+  task functions and as a GIL-bound stand-in with identical scheduling
+  structure;
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor`` with a per-worker
+  **warm-start initializer**: the task envelope's context (RSA key
+  material, scheme parameters, OPE params) is shipped to each worker once
+  at pool construction and cached in the worker process, not re-pickled
+  per task.
+
+Work arrives as a :class:`TaskEnvelope` — a module-level function plus a
+picklable context — applied to deterministic, contiguous chunks of an item
+list (:func:`partition_chunks`).  Results always come back in submission
+order regardless of completion order, which is what lets seeded enrollment
+stay byte-identical across backends (docs/PERFORMANCE.md).
+
+Submission is **bounded**: at most ``max_inflight`` chunks are enqueued on
+the pool at any moment (default ``2 × workers``), so a million-chunk batch
+never materializes a million futures — backpressure is exerted on the
+producer by collecting the oldest outstanding future before submitting the
+next chunk.
+
+Failure surfacing is typed (:mod:`repro.errors`): a worker process dying
+abruptly raises :class:`~repro.errors.WorkerCrashError` instead of hanging,
+and the broken pool is discarded so the *next* call restarts fresh workers
+(counted by ``smatch_parallel_worker_restarts_total``).  Exceptions raised
+*inside* a task function propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # pragma: no cover - typing_extensions never needed at runtime
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8 is unsupported anyway
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+from repro.errors import ParallelError, ParameterError, WorkerCrashError
+from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.trace import span
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "TaskEnvelope",
+    "ThreadBackend",
+    "balanced_chunk_size",
+    "default_backend",
+    "partition_chunks",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+#: Names accepted by :func:`resolve_backend` and the ``SMATCH_BACKEND`` env.
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+_ENV_VAR = "SMATCH_BACKEND"
+
+#: A chunk task: ``fn(context, chunk) -> result``.  Must be a module-level
+#: function for :class:`ProcessBackend` (pickled by reference).
+TaskFn = Callable[[Any, Sequence[Any]], Any]
+
+
+@dataclass(frozen=True)
+class TaskEnvelope:
+    """One picklable unit of backend work.
+
+    ``fn`` is applied per chunk as ``fn(context, chunk)``.  The ``context``
+    carries the warm-start state (key material, parameters) every chunk of
+    the batch shares; process backends deliver it to each worker exactly
+    once via the pool initializer.  ``label`` names the work in spans and
+    error messages (never interpolate task *data* into it).
+    """
+
+    fn: TaskFn
+    context: Any = None
+    label: str = "task"
+
+
+def partition_chunks(
+    items: Sequence[Any], chunk_size: int
+) -> List[Sequence[Any]]:
+    """Deterministic contiguous chunking: ``items[0:c], items[c:2c], ...``.
+
+    Pure function of ``(len(items), chunk_size)`` — chunk boundaries never
+    depend on worker count or scheduling, which is one half of the
+    cross-backend determinism contract (the other half is ordered result
+    collection).
+    """
+    if chunk_size < 1:
+        raise ParameterError("chunk_size must be >= 1")
+    items = list(items)
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def balanced_chunk_size(num_items: int, workers: int) -> int:
+    """One balanced slice per worker (the default chunking policy)."""
+    if workers < 1:
+        raise ParameterError("workers must be >= 1")
+    return max(1, (num_items + workers - 1) // workers)
+
+
+def _default_workers(workers: Optional[int]) -> int:
+    """``workers`` validated, with ``None`` meaning one per CPU core."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ParameterError("workers must be >= 1")
+    return workers
+
+
+def _note_batch(num_chunks: int, num_tasks: int) -> None:
+    metric_inc("smatch_parallel_chunks_total", num_chunks)
+    metric_inc("smatch_parallel_tasks_total", num_tasks)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution-backend protocol all backends implement."""
+
+    name: str
+    workers: int
+
+    def map_chunks(
+        self, envelope: TaskEnvelope, chunks: Sequence[Sequence[Any]]
+    ) -> List[Any]:
+        """Apply ``envelope.fn(context, chunk)`` to every chunk, in order."""
+        ...
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+        ...
+
+
+class SerialBackend:
+    """Run every chunk inline on the calling thread — the reference order."""
+
+    name = "serial"
+    workers = 1
+
+    def map_chunks(
+        self, envelope: TaskEnvelope, chunks: Sequence[Sequence[Any]]
+    ) -> List[Any]:
+        """Apply the envelope to each chunk sequentially."""
+        chunks = list(chunks)
+        with span(
+            "parallel.map",
+            backend=self.name,
+            label=envelope.label,
+            chunks=len(chunks),
+        ):
+            _note_batch(len(chunks), sum(len(c) for c in chunks))
+            return [envelope.fn(envelope.context, chunk) for chunk in chunks]
+
+    def close(self) -> None:
+        """Nothing pooled; provided for protocol symmetry."""
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _PooledBackend:
+    """Shared submission/collection machinery of the pooled backends.
+
+    Bounded in-flight window: submit up to ``max_inflight`` chunks, then
+    alternate collect-oldest / submit-next so results arrive in submission
+    order with O(max_inflight) outstanding futures.
+    """
+
+    name = "pooled"
+
+    def __init__(self, workers: int, max_inflight: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ParameterError("workers must be >= 1")
+        self.workers = workers
+        self._max_inflight = (
+            max_inflight if max_inflight is not None else 2 * workers
+        )
+        if self._max_inflight < 1:
+            raise ParameterError("max_inflight must be >= 1")
+
+    # hooks the concrete backends provide -------------------------------------
+
+    def _pool_for(self, envelope: TaskEnvelope) -> Any:
+        raise NotImplementedError
+
+    def _submit(
+        self, pool: Any, envelope: TaskEnvelope, chunk: Sequence[Any]
+    ) -> "Future[Any]":
+        raise NotImplementedError
+
+    def _discard_pool(self) -> None:
+        raise NotImplementedError
+
+    # the shared engine --------------------------------------------------------
+
+    def map_chunks(
+        self, envelope: TaskEnvelope, chunks: Sequence[Sequence[Any]]
+    ) -> List[Any]:
+        """Apply the envelope across the pool; results in submission order."""
+        chunks = list(chunks)
+        with span(
+            "parallel.map",
+            backend=self.name,
+            label=envelope.label,
+            chunks=len(chunks),
+        ):
+            _note_batch(len(chunks), sum(len(c) for c in chunks))
+            try:
+                return self._collect(envelope, chunks)
+            finally:
+                metric_set("smatch_parallel_queue_depth", 0)
+
+    def _collect(
+        self, envelope: TaskEnvelope, chunks: List[Sequence[Any]]
+    ) -> List[Any]:
+        pool = self._pool_for(envelope)
+        results: List[Any] = [None] * len(chunks)
+        pending: Deque[Tuple[int, "Future[Any]"]] = deque()
+        next_index = 0
+
+        def submit_one() -> None:
+            nonlocal next_index
+            index = next_index
+            next_index += 1
+            pending.append((index, self._submit(pool, envelope, chunks[index])))
+
+        while next_index < len(chunks) and len(pending) < self._max_inflight:
+            submit_one()
+        metric_set("smatch_parallel_queue_depth", len(pending))
+        while pending:
+            index, future = pending.popleft()
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool as exc:
+                # the pool is unusable: drop it (the next map_chunks call
+                # restarts fresh workers) and surface a typed error instead
+                # of hanging on futures a dead worker will never complete
+                for _, leftover in pending:
+                    leftover.cancel()
+                pending.clear()
+                self._discard_pool()
+                metric_inc("smatch_parallel_worker_restarts_total")
+                raise WorkerCrashError(
+                    f"worker process died while running {envelope.label!r} "
+                    f"chunk {index} of {len(chunks)}"
+                ) from exc
+            if next_index < len(chunks):
+                submit_one()
+            metric_set("smatch_parallel_queue_depth", len(pending))
+        return results
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later call re-creates it."""
+        self._discard_pool()
+
+    def __enter__(self) -> "_PooledBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ThreadBackend(_PooledBackend):
+    """A ``ThreadPoolExecutor`` backend.
+
+    Shares the caller's address space, so contexts need not be picklable
+    and warm state is simply the shared object.  Pure-Python compute stays
+    GIL-serialized — use :class:`ProcessBackend` for wall-clock speedups on
+    modexp-bound work.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, workers: Optional[int] = None, max_inflight: Optional[int] = None
+    ) -> None:
+        super().__init__(_default_workers(workers), max_inflight)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _pool_for(self, envelope: TaskEnvelope) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="smatch-parallel",
+            )
+        return self._pool
+
+    def _submit(
+        self, pool: ThreadPoolExecutor, envelope: TaskEnvelope, chunk: Sequence[Any]
+    ) -> "Future[Any]":
+        return pool.submit(envelope.fn, envelope.context, chunk)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+# -- process backend -----------------------------------------------------------
+
+#: Per-worker-process warm state, installed once by the pool initializer.
+_WORKER_CONTEXT: Any = None
+
+
+def _initialize_worker(context: Any) -> None:
+    """Pool initializer: cache the envelope context in this worker process."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_chunk(fn: TaskFn, chunk: Sequence[Any]) -> Any:
+    """Worker-side trampoline: apply the task to the warm-started context."""
+    return fn(_WORKER_CONTEXT, chunk)
+
+
+class ProcessBackend(_PooledBackend):
+    """A ``ProcessPoolExecutor`` backend for modexp-bound work.
+
+    The envelope context crosses the pickling boundary exactly once per
+    worker (pool initializer); per-chunk submissions carry only the task
+    function reference and the chunk items.  The pool is kept warm across
+    ``map_chunks`` calls that reuse the *same* context object, so repeated
+    batches against one key/scheme pay pool start-up once.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        super().__init__(_default_workers(workers), max_inflight)
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_context: Any = None
+
+    def _pool_for(self, envelope: TaskEnvelope) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_context is envelope.context:
+            return self._pool
+        self._discard_pool()
+        self._check_picklable(envelope)
+        mp_ctx = None
+        if self._mp_context is not None:
+            import multiprocessing
+
+            mp_ctx = multiprocessing.get_context(self._mp_context)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_initialize_worker,
+            initargs=(envelope.context,),
+            mp_context=mp_ctx,
+        )
+        # hold a strong reference so `is` identity can't be recycled
+        self._pool_context = envelope.context
+        return self._pool
+
+    @staticmethod
+    def _check_picklable(envelope: TaskEnvelope) -> None:
+        try:
+            pickle.dumps((envelope.fn, envelope.context))
+        except Exception as exc:
+            # report only type names: envelope contexts may carry key
+            # material whose repr must never reach an exception message
+            raise ParallelError(
+                f"task envelope {envelope.label!r} cannot cross the process "
+                f"boundary: fn must be a module-level function and context "
+                f"picklable ({type(exc).__name__})"
+            ) from exc
+
+    def _submit(
+        self, pool: ProcessPoolExecutor, envelope: TaskEnvelope, chunk: Sequence[Any]
+    ) -> "Future[Any]":
+        return pool.submit(_run_chunk, envelope.fn, chunk)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_context = None
+
+
+# -- name resolution and the process-wide default ------------------------------
+
+BackendSpec = Union[str, ExecutionBackend]
+
+
+def resolve_backend(
+    spec: BackendSpec, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """An :class:`ExecutionBackend` from a name or a ready instance.
+
+    Accepts ``"serial"``, ``"thread"``, ``"process"`` (optionally sized by
+    ``workers``; pool backends default to ``os.cpu_count()``), or any object
+    already implementing the protocol (returned as-is).
+    """
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name == "serial":
+            return SerialBackend()
+        if name == "thread":
+            return ThreadBackend(workers)
+        if name == "process":
+            return ProcessBackend(workers)
+        raise ParameterError(
+            f"unknown execution backend {spec!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise ParameterError(
+        f"backend must be a name or an ExecutionBackend, got "
+        f"{type(spec).__name__}"
+    )
+
+
+_default_backend: Optional[ExecutionBackend] = None
+_env_cache: Dict[str, ExecutionBackend] = {}
+
+
+def set_default_backend(
+    spec: Optional[BackendSpec],
+) -> Optional[ExecutionBackend]:
+    """Install (or with ``None`` clear) the process-wide default backend.
+
+    The default is what ``backend=None`` call sites fall back to; the CLI's
+    ``--backend`` flag lands here.  Returns the installed backend.
+    """
+    global _default_backend
+    _default_backend = None if spec is None else resolve_backend(spec)
+    return _default_backend
+
+
+def default_backend() -> Optional[ExecutionBackend]:
+    """The process default: ``set_default_backend`` value, else the
+    ``SMATCH_BACKEND`` environment variable, else ``None`` (legacy serial
+    paths).  Env-resolved backends are cached per name so pool warm-up is
+    shared across call sites.
+    """
+    if _default_backend is not None:
+        return _default_backend
+    name = os.environ.get(_ENV_VAR, "").strip().lower()
+    if not name:
+        return None
+    backend = _env_cache.get(name)
+    if backend is None:
+        backend = _env_cache[name] = resolve_backend(name)
+    return backend

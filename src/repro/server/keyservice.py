@@ -14,8 +14,9 @@ rate caps the brute-force throughput, turning the information-theoretic
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.crypto.oprf import RsaOprfServer
 from repro.errors import ParameterError, ProtocolError
@@ -29,7 +30,7 @@ from repro.net.oprf_messages import (
     OprfResponse,
 )
 from repro.obs.logs import get_logger
-from repro.obs.metrics import metric_inc
+from repro.obs.metrics import DURATION_US_BUCKETS, metric_inc, metric_observe
 from repro.obs.trace import span
 
 __all__ = ["KeyGenService", "RateLimitExceeded"]
@@ -55,17 +56,69 @@ class KeyGenService:
         oprf_server: Optional[RsaOprfServer] = None,
         max_requests_per_window: int = 30,
         window_seconds: int = 3600,
+        backend: Any = None,
+        parallel_threshold: int = 8,
     ) -> None:
         self.oprf = oprf_server or RsaOprfServer()
         if max_requests_per_window < 1:
             raise ProtocolError("rate limit must allow at least one request")
         if window_seconds < 1:
             raise ProtocolError("rate window must be positive")
+        if parallel_threshold < 2:
+            raise ProtocolError("parallel threshold must be >= 2")
         self.max_requests = max_requests_per_window
         self.window_seconds = window_seconds
         self._budgets: Dict[str, _ClientBudget] = {}
         self.evaluations_served = 0
         self.rejections = 0
+        # backend: an execution-backend name/instance (repro.parallel) the
+        # batched evaluation path fans modexps across; None falls back to
+        # the process default (SMATCH_BACKEND / CLI --backend), resolved
+        # per call so the service follows runtime configuration.  Batches
+        # below parallel_threshold stay on the serial path — chunk dispatch
+        # overhead beats one or two 1024-bit modexps.
+        self._backend_spec = backend
+        self._backend: Any = None
+        self.parallel_threshold = parallel_threshold
+
+    def _batch_backend(self) -> Any:
+        """The resolved fan-out backend, or None for the serial path."""
+        if self._backend_spec is None:
+            from repro.parallel import default_backend
+
+            return default_backend()
+        if self._backend is None:
+            from repro.parallel import resolve_backend
+
+            self._backend = resolve_backend(self._backend_spec)
+        return self._backend
+
+    def _evaluate_batch(
+        self, backend: Any, blinded: Sequence[int]
+    ) -> Tuple[int, ...]:
+        """Fan already-range-checked blinded elements across the backend.
+
+        Chunk boundaries are a pure function of batch size and worker
+        count, and results come back in submission order, so the response
+        tuple is element-for-element identical to the serial path.
+        """
+        from repro.parallel import (
+            TaskEnvelope,
+            balanced_chunk_size,
+            evaluate_blinded_chunk,
+            partition_chunks,
+        )
+
+        chunks = partition_chunks(
+            list(blinded), balanced_chunk_size(len(blinded), backend.workers)
+        )
+        envelope = TaskEnvelope(
+            fn=evaluate_blinded_chunk,
+            context=self.oprf,
+            label="keyservice.evaluate_batch",
+        )
+        results = backend.map_chunks(envelope, chunks)
+        return tuple(value for chunk in results for value in chunk)
 
     # -- rate limiting ------------------------------------------------------------
 
@@ -116,65 +169,92 @@ class KeyGenService:
         self, client: str, message: Message, now: int = 0
     ) -> Message:
         """Dispatch one key-service message from ``client`` at time ``now``."""
-        if isinstance(message, OprfKeyInfoRequest):
-            pk = self.oprf.public_key
-            return OprfKeyInfo(
-                request_id=message.request_id, modulus=pk.n, exponent=pk.e
-            )
-        if isinstance(message, OprfRequest):
-            with span("keyservice.evaluate", client=client):
-                self._check_budget(client, now)
-                try:
-                    evaluated = self.oprf.evaluate_blinded(message.blinded)
-                except ParameterError as exc:
-                    # crypto-layer range failure becomes a wire-protocol error:
-                    # the client sent a blinded value outside [0, N)
-                    raise ProtocolError(f"invalid OPRF request: {exc}") from exc
-                self.evaluations_served += 1
-                metric_inc("smatch_keyservice_evaluations_total")
-                # SML008 reviewed: the evaluated value is x^d mod N on a
-                # value still masked by the client's blinding factor r^e —
-                # the service (and any eavesdropper under the SecureChannel)
-                # learns nothing about the underlying profile attribute
-                return OprfResponse(
-                    request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
+        start_ns = time.monotonic_ns()
+        try:
+            if isinstance(message, OprfKeyInfoRequest):
+                pk = self.oprf.public_key
+                return OprfKeyInfo(
+                    request_id=message.request_id, modulus=pk.n, exponent=pk.e
                 )
-        if isinstance(message, BatchedBlindEvalRequest):
-            with span(
-                "keyservice.evaluate_batch",
-                client=client,
-                batch=len(message.blinded),
-            ):
-                self._charge_budget(client, now, len(message.blinded))
-                # validate the whole batch before evaluating any element:
-                # rejecting mid-batch (after 0..k-1 modexps) would make the
-                # time-to-error reveal the index of the first bad element
-                modulus = self.oprf.public_key.n
-                if any(not 0 <= blinded < modulus for blinded in message.blinded):
-                    raise ProtocolError(
-                        "invalid OPRF request: blinded value out of range"
+            if isinstance(message, OprfRequest):
+                with span("keyservice.evaluate", client=client):
+                    self._check_budget(client, now)
+                    try:
+                        evaluated = self.oprf.evaluate_blinded(message.blinded)
+                    except ParameterError as exc:
+                        # crypto-layer range failure becomes a wire-protocol
+                        # error: the client sent a blinded value outside [0, N)
+                        raise ProtocolError(
+                            f"invalid OPRF request: {exc}"
+                        ) from exc
+                    self.evaluations_served += 1
+                    metric_inc("smatch_keyservice_evaluations_total")
+                    # SML008 reviewed: the evaluated value is x^d mod N on a
+                    # value still masked by the client's blinding factor r^e —
+                    # the service (and any eavesdropper under the
+                    # SecureChannel) learns nothing about the underlying
+                    # profile attribute
+                    return OprfResponse(
+                        request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
                     )
-                try:
-                    evaluated = tuple(
-                        self.oprf.evaluate_blinded(blinded)
+            if isinstance(message, BatchedBlindEvalRequest):
+                with span(
+                    "keyservice.evaluate_batch",
+                    client=client,
+                    batch=len(message.blinded),
+                ):
+                    self._charge_budget(client, now, len(message.blinded))
+                    # validate the whole batch before evaluating any element:
+                    # rejecting mid-batch (after 0..k-1 modexps) would make
+                    # the time-to-error reveal the index of the first bad
+                    # element — this holds for the fanned-out path too, which
+                    # only ever sees a fully validated batch
+                    modulus = self.oprf.public_key.n
+                    if any(
+                        not 0 <= blinded < modulus
                         for blinded in message.blinded
+                    ):
+                        raise ProtocolError(
+                            "invalid OPRF request: blinded value out of range"
+                        )
+                    backend = self._batch_backend()
+                    try:
+                        if (
+                            backend is not None
+                            and len(message.blinded) >= self.parallel_threshold
+                        ):
+                            evaluated = self._evaluate_batch(
+                                backend, message.blinded
+                            )
+                        else:
+                            evaluated = tuple(
+                                self.oprf.evaluate_blinded(blinded)
+                                for blinded in message.blinded
+                            )
+                    except ParameterError as exc:
+                        raise ProtocolError(
+                            f"invalid OPRF request: {exc}"
+                        ) from exc
+                    self.evaluations_served += len(evaluated)
+                    metric_inc(
+                        "smatch_keyservice_evaluations_total", len(evaluated)
                     )
-                except ParameterError as exc:
-                    raise ProtocolError(f"invalid OPRF request: {exc}") from exc
-                self.evaluations_served += len(evaluated)
-                metric_inc(
-                    "smatch_keyservice_evaluations_total", len(evaluated)
-                )
-                metric_inc("smatch_keyservice_batches_total")
-                metric_inc(
-                    "smatch_keyservice_batched_evaluations_total",
-                    len(evaluated),
-                )
-                # SML008 reviewed: blinded-evaluation outputs, same argument
-                # as the single-evaluation OprfResponse above
-                return BatchedBlindEvalResponse(
-                    request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
-                )
-        raise ProtocolError(
-            f"key service cannot handle {type(message).__name__}"
-        )
+                    metric_inc("smatch_keyservice_batches_total")
+                    metric_inc(
+                        "smatch_keyservice_batched_evaluations_total",
+                        len(evaluated),
+                    )
+                    # SML008 reviewed: blinded-evaluation outputs, same
+                    # argument as the single-evaluation OprfResponse above
+                    return BatchedBlindEvalResponse(
+                        request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
+                    )
+            raise ProtocolError(
+                f"key service cannot handle {type(message).__name__}"
+            )
+        finally:
+            metric_observe(
+                "smatch_server_handler_latency_us",
+                (time.monotonic_ns() - start_ns) // 1000,
+                DURATION_US_BUCKETS,
+            )

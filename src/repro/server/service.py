@@ -12,6 +12,7 @@ malicious variants live in :mod:`repro.server.adversary`.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.errors import MatchingError, ProtocolError
@@ -23,7 +24,7 @@ from repro.net.messages import (
     UploadMessage,
 )
 from repro.obs.logs import get_logger
-from repro.obs.metrics import metric_inc
+from repro.obs.metrics import DURATION_US_BUCKETS, metric_inc, metric_observe
 from repro.obs.trace import span
 from repro.server.matcher import ServerMatcher
 from repro.server.storage import ProfileStore
@@ -47,37 +48,53 @@ class SMatchServer:
 
     def handle_upload(self, message: UploadMessage) -> None:
         """Store an uploaded encrypted profile."""
-        with span("server.handle_upload", user=message.payload.user_id):
-            self.store.put(message.payload)
-            self.uploads_accepted += 1
-            metric_inc("smatch_server_uploads_total")
-            _log.debug(
-                "upload_stored",
-                user=message.payload.user_id,
-                chain_len=len(message.payload.chain),
-            )
+        start_ns = time.monotonic_ns()
+        try:
+            with span("server.handle_upload", user=message.payload.user_id):
+                self.store.put(message.payload)
+                self.uploads_accepted += 1
+                metric_inc("smatch_server_uploads_total")
+                _log.debug(
+                    "upload_stored",
+                    user=message.payload.user_id,
+                    chain_len=len(message.payload.chain),
+                )
+        finally:
+            self._observe_latency(start_ns)
 
     def handle_query(self, request: QueryRequest) -> QueryResult:
         """Run Match and assemble the result message."""
-        with span("server.handle_query", user=request.user_id):
-            matches = self._match_ids(request)
-            entries = tuple(
-                ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
-                for uid in matches
-            )
-            self.queries_served += 1
-            metric_inc("smatch_server_queries_total")
-            metric_inc("smatch_server_results_total", len(entries))
-            _log.debug(
-                "query_served",
-                user=request.user_id,
-                results=len(entries),
-            )
-            return QueryResult(
-                query_id=request.query_id,
-                timestamp=request.timestamp,
-                entries=entries,
-            )
+        start_ns = time.monotonic_ns()
+        try:
+            with span("server.handle_query", user=request.user_id):
+                matches = self._match_ids(request)
+                entries = tuple(
+                    ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
+                    for uid in matches
+                )
+                self.queries_served += 1
+                metric_inc("smatch_server_queries_total")
+                metric_inc("smatch_server_results_total", len(entries))
+                _log.debug(
+                    "query_served",
+                    user=request.user_id,
+                    results=len(entries),
+                )
+                return QueryResult(
+                    query_id=request.query_id,
+                    timestamp=request.timestamp,
+                    entries=entries,
+                )
+        finally:
+            self._observe_latency(start_ns)
+
+    @staticmethod
+    def _observe_latency(start_ns: int) -> None:
+        metric_observe(
+            "smatch_server_handler_latency_us",
+            (time.monotonic_ns() - start_ns) // 1000,
+            DURATION_US_BUCKETS,
+        )
 
     def handle_message(self, message: Message) -> Optional[Message]:
         """Dispatch any protocol message; returns the response if any."""

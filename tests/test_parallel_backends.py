@@ -1,0 +1,327 @@
+"""Cross-backend equivalence and failure-surfacing tests (repro.parallel).
+
+The contract under test: for seeded work, every backend — serial, thread,
+process — produces **byte-identical** results for any worker count and any
+chunking, because chunk boundaries are a pure function of (batch size,
+chunk_size) and results are collected in submission order.  On top of that:
+the batched OPRF path returns identical evaluations across backends, a
+crashing worker surfaces a typed :class:`~repro.errors.WorkerCrashError`
+without deadlocking (and the pool recovers), and the resolution /
+deprecation plumbing behaves.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.profile import Profile, ProfileSchema
+from repro.core.scheme import SMatch, SMatchParams
+from repro.crypto.oprf import RsaOprfServer
+from repro.errors import (
+    ParallelError,
+    ParameterError,
+    WorkerCrashError,
+)
+from repro.net.messages import UploadMessage
+from repro.net.oprf_messages import BatchedBlindEvalRequest
+from repro.parallel import (
+    ProcessBackend,
+    SerialBackend,
+    TaskEnvelope,
+    ThreadBackend,
+    balanced_chunk_size,
+    default_backend,
+    partition_chunks,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.server.keyservice import KeyGenService
+from repro.server.service import SMatchServer
+from repro.utils.rand import SystemRandomSource
+
+SCHEMA = ProfileSchema.uniform(["a", "b", "c"], 1 << 12)
+
+
+def _scheme() -> SMatch:
+    return SMatch(
+        SMatchParams(schema=SCHEMA, theta=8, plaintext_bits=64),
+        rng=SystemRandomSource(41),
+    )
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return [
+        Profile(i, SCHEMA, (40 + i, 400 + 3 * i, 4000 + 7 * i))
+        for i in range(1, 10)
+    ]
+
+
+def _assert_same(result_a, result_b):
+    uploads_a, keys_a = result_a
+    uploads_b, keys_b = result_b
+    assert set(uploads_a) == set(uploads_b)
+    for uid in uploads_a:
+        assert uploads_a[uid] == uploads_b[uid]
+        assert keys_a[uid].key == keys_b[uid].key
+        assert keys_a[uid].index == keys_b[uid].index
+
+
+# -- deterministic partitioning ------------------------------------------------
+
+
+class TestPartitioning:
+    def test_contiguous_chunks(self):
+        assert partition_chunks([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert partition_chunks([], 3) == []
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ParameterError):
+            partition_chunks([1], 0)
+
+    def test_balanced_chunk_size(self):
+        assert balanced_chunk_size(10, 4) == 3
+        assert balanced_chunk_size(0, 4) == 1
+        assert balanced_chunk_size(5, 1) == 5
+        with pytest.raises(ParameterError):
+            balanced_chunk_size(5, 0)
+
+
+# -- cross-backend enrollment equivalence --------------------------------------
+
+
+class TestEnrollmentEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_result(self, profiles):
+        return _scheme().enroll_population(profiles, backend="serial", seed=77)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_thread_backend_matches_serial(
+        self, profiles, serial_result, workers, chunk_size
+    ):
+        result = _scheme().enroll_population(
+            profiles,
+            backend=ThreadBackend(workers),
+            seed=77,
+            chunk_size=chunk_size,
+        )
+        _assert_same(serial_result, result)
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, None), (2, 2), (3, 1)])
+    def test_process_backend_matches_serial(
+        self, profiles, serial_result, workers, chunk_size
+    ):
+        with ProcessBackend(workers, mp_context="fork") as backend:
+            result = _scheme().enroll_population(
+                profiles, backend=backend, seed=77, chunk_size=chunk_size
+            )
+        _assert_same(serial_result, result)
+
+    def test_other_seed_differs(self, profiles, serial_result):
+        other = _scheme().enroll_population(
+            profiles, backend="serial", seed=78
+        )
+        uploads_a, _ = serial_result
+        uploads_b, _ = other
+        assert any(uploads_a[uid] != uploads_b[uid] for uid in uploads_a)
+
+    def test_unseeded_backend_run_deterministic_under_seeded_scheme(
+        self, profiles
+    ):
+        a = _scheme().enroll_population(profiles, backend=ThreadBackend(2))
+        b = _scheme().enroll_population(profiles, backend=ThreadBackend(3))
+        _assert_same(a, b)
+
+
+# -- batched OPRF equivalence --------------------------------------------------
+
+
+class TestBatchedOprfEquivalence:
+    @pytest.fixture(scope="class")
+    def oprf_and_batch(self):
+        rng = SystemRandomSource(3)
+        oprf = RsaOprfServer(bits=512, rng=rng)
+        blinded = tuple(rng.getrandbits(64) for _ in range(12))
+        return oprf, blinded
+
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [
+            lambda: None,  # serial inline path
+            lambda: SerialBackend(),
+            lambda: ThreadBackend(3),
+            lambda: ProcessBackend(2, mp_context="fork"),
+        ],
+    )
+    def test_batched_eval_identical(self, oprf_and_batch, backend_factory):
+        oprf, blinded = oprf_and_batch
+        reference = tuple(oprf.evaluate_blinded(b) for b in blinded)
+        service = KeyGenService(
+            oprf_server=oprf,
+            max_requests_per_window=100,
+            backend=backend_factory(),
+            parallel_threshold=4,
+        )
+        response = service.handle_message(
+            "c", BatchedBlindEvalRequest(request_id=1, blinded=blinded)
+        )
+        assert response.evaluated == reference
+        assert service.evaluations_served == len(blinded)
+
+    def test_small_batches_stay_serial(self, oprf_and_batch):
+        oprf, blinded = oprf_and_batch
+
+        class ExplodingBackend:
+            name = "exploding"
+            workers = 4
+
+            def map_chunks(self, envelope, chunks):
+                raise AssertionError("small batch must not fan out")
+
+            def close(self):
+                pass
+
+        service = KeyGenService(
+            oprf_server=oprf,
+            max_requests_per_window=100,
+            backend=ExplodingBackend(),
+            parallel_threshold=8,
+        )
+        response = service.handle_message(
+            "c", BatchedBlindEvalRequest(request_id=1, blinded=blinded[:3])
+        )
+        assert response.evaluated == tuple(
+            oprf.evaluate_blinded(b) for b in blinded[:3]
+        )
+
+
+# -- bulk matching -------------------------------------------------------------
+
+
+class TestQueryBulk:
+    @pytest.fixture(scope="class")
+    def server_and_users(self):
+        scheme = SMatch(
+            SMatchParams(schema=SCHEMA, theta=1, plaintext_bits=64),
+            rng=SystemRandomSource(41),
+        )
+        # identical attribute values -> one key group for everyone
+        profiles = [Profile(i, SCHEMA, (40, 400, 4000)) for i in range(1, 9)]
+        uploads, _ = scheme.enroll_population(
+            profiles, backend="serial", seed=9
+        )
+        server = SMatchServer(query_k=3)
+        for payload in uploads.values():
+            server.handle_upload(UploadMessage(payload=payload))
+        return server, sorted(uploads)
+
+    def test_bulk_matches_per_user_match(self, server_and_users):
+        server, users = server_and_users
+        singles = {u: server.matcher.match(u, 3) for u in users}
+        assert server.matcher.query_bulk(users, 3) == singles
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, None])
+    def test_bulk_identical_across_backends(self, server_and_users, chunk_size):
+        server, users = server_and_users
+        serial = server.matcher.query_bulk(
+            users, 3, backend="serial", chunk_size=chunk_size
+        )
+        threaded = server.matcher.query_bulk(
+            users, 3, backend=ThreadBackend(3), chunk_size=chunk_size
+        )
+        with ProcessBackend(2, mp_context="fork") as backend:
+            processed = server.matcher.query_bulk(
+                users, 3, backend=backend, chunk_size=chunk_size
+            )
+        assert serial == threaded == processed
+
+    def test_unknown_user_rejected_up_front(self, server_and_users):
+        from repro.errors import MatchingError
+
+        server, users = server_and_users
+        with pytest.raises(MatchingError):
+            server.matcher.query_bulk(users + [99999], 3)
+
+
+# -- failure surfacing ---------------------------------------------------------
+
+
+def _crash_task(context, chunk):
+    os._exit(13)
+
+
+def _double_task(context, chunk):
+    return [value * 2 for value in chunk]
+
+
+class TestFailureSurfacing:
+    def test_worker_crash_raises_typed_error_without_deadlock(self):
+        with ProcessBackend(2, mp_context="fork") as backend:
+            envelope = TaskEnvelope(fn=_crash_task, label="crash-test")
+            with pytest.raises(WorkerCrashError):
+                backend.map_chunks(envelope, [[1], [2], [3]])
+            # the broken pool was discarded: the next call restarts workers
+            healthy = TaskEnvelope(fn=_double_task, label="recovery")
+            assert backend.map_chunks(healthy, [[1, 2], [3]]) == [[2, 4], [6]]
+
+    def test_unpicklable_envelope_is_a_typed_error(self):
+        local_fn = lambda context, chunk: chunk  # noqa: E731
+        with ProcessBackend(2, mp_context="fork") as backend:
+            with pytest.raises(ParallelError):
+                backend.map_chunks(
+                    TaskEnvelope(fn=local_fn, label="unpicklable"), [[1]]
+                )
+
+    def test_task_exceptions_propagate_unchanged(self):
+        def boom(context, chunk):
+            raise ParameterError("inner failure")
+
+        backend = ThreadBackend(2)
+        with pytest.raises(ParameterError):
+            backend.map_chunks(TaskEnvelope(fn=boom, label="boom"), [[1], [2]])
+        backend.close()
+
+
+# -- resolution and defaults ---------------------------------------------------
+
+
+class TestResolution:
+    def test_names_resolve(self):
+        assert resolve_backend("serial").name == "serial"
+        assert resolve_backend("thread", 3).workers == 3
+        assert resolve_backend("process", 2).workers == 2
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_backend("gpu")
+        with pytest.raises(ParameterError):
+            resolve_backend(42)
+
+    def test_env_variable_default(self, monkeypatch):
+        set_default_backend(None)
+        monkeypatch.delenv("SMATCH_BACKEND", raising=False)
+        assert default_backend() is None
+        monkeypatch.setenv("SMATCH_BACKEND", "thread")
+        backend = default_backend()
+        assert backend is not None and backend.name == "thread"
+        # cached per name across call sites
+        assert default_backend() is backend
+
+    def test_explicit_default_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("SMATCH_BACKEND", "thread")
+        try:
+            installed = set_default_backend("serial")
+            assert default_backend() is installed
+        finally:
+            set_default_backend(None)
+
+    def test_workers_validated(self):
+        with pytest.raises(ParameterError):
+            ThreadBackend(0)
+        with pytest.raises(ParameterError):
+            ProcessBackend(2, max_inflight=0)

@@ -17,6 +17,7 @@ from repro.experiments.common import build_population, build_scheme
 from repro.net.channel import SecureChannel
 from repro.net.oprf_messages import BatchedBlindEvalRequest
 from repro.net.transport import InMemoryNetwork
+from repro.parallel import ThreadBackend
 from repro.server.keyservice import KeyGenService, RateLimitExceeded
 
 
@@ -45,20 +46,20 @@ class TestSeededDeterminism:
     def test_workers_do_not_change_output(self, population):
         pop, profiles = population
         serial = _fresh_scheme(pop).enroll_population(
-            profiles, workers=1, seed=77
+            profiles, backend="serial", seed=77
         )
         parallel = _fresh_scheme(pop).enroll_population(
-            profiles, workers=4, seed=77
+            profiles, backend=ThreadBackend(4), seed=77
         )
         _assert_same_enrollment(serial, parallel)
 
     def test_chunking_does_not_change_output(self, population):
         pop, profiles = population
         baseline = _fresh_scheme(pop).enroll_population(
-            profiles, workers=1, seed=77
+            profiles, backend="serial", seed=77
         )
         chunked = _fresh_scheme(pop).enroll_population(
-            profiles, workers=3, seed=77, chunk_size=2
+            profiles, backend=ThreadBackend(3), seed=77, chunk_size=2
         )
         _assert_same_enrollment(baseline, chunked)
 
@@ -68,19 +69,19 @@ class TestSeededDeterminism:
             pop,
             ope_expansion_bits=16,
             ope_cache=OpeNodeCache(capacity=512),
-        ).enroll_population(profiles, workers=4, seed=77)
+        ).enroll_population(profiles, backend=ThreadBackend(4), seed=77)
         uncached = _fresh_scheme(
             pop, ope_expansion_bits=16, ope_cache=False
-        ).enroll_population(profiles, workers=1, seed=77)
+        ).enroll_population(profiles, backend="serial", seed=77)
         _assert_same_enrollment(cached, uncached)
 
     def test_profile_order_is_irrelevant_when_seeded(self, population):
         pop, profiles = population
         forward = _fresh_scheme(pop).enroll_population(
-            profiles, workers=2, seed=5
+            profiles, backend=ThreadBackend(2), seed=5
         )
         reversed_ = _fresh_scheme(pop).enroll_population(
-            list(reversed(profiles)), workers=2, seed=5
+            list(reversed(profiles)), backend=ThreadBackend(2), seed=5
         )
         _assert_same_enrollment(forward, reversed_)
 
@@ -102,6 +103,27 @@ class TestSeededDeterminism:
             scheme.enroll_population(profiles, workers=0)
         with pytest.raises(ParameterError):
             scheme.enroll_population(profiles, chunk_size=0)
+        with pytest.raises(ParameterError):
+            scheme.enroll_population(profiles, backend="vectorized")
+
+    def test_workers_shim_warns_and_matches_backend_path(self, population):
+        pop, profiles = population
+        with pytest.warns(DeprecationWarning):
+            legacy = _fresh_scheme(pop).enroll_population(
+                profiles, workers=4, seed=77
+            )
+        modern = _fresh_scheme(pop).enroll_population(
+            profiles, backend=ThreadBackend(4), seed=77
+        )
+        _assert_same_enrollment(legacy, modern)
+
+    def test_workers_and_backend_are_mutually_exclusive(self, population):
+        pop, profiles = population
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ParameterError):
+                _fresh_scheme(pop).enroll_population(
+                    profiles, backend="serial", workers=2, seed=1
+                )
 
     def test_legacy_sequential_path_unchanged(self, population):
         # workers=1 without a seed must keep drawing from the instance RNG

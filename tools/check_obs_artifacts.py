@@ -67,6 +67,12 @@ KNOWN_METRICS = frozenset(
         "smatch_ope_cache_entries",
         "smatch_enroll_batch_profiles_total",
         "smatch_enroll_batch_chunks_total",
+        "smatch_server_handler_latency_us",
+        "smatch_parallel_tasks_total",
+        "smatch_parallel_chunks_total",
+        "smatch_parallel_worker_restarts_total",
+        "smatch_parallel_queue_depth",
+        "smatch_matcher_bulk_queries_total",
     }
 )
 

@@ -66,11 +66,15 @@ class LintConfig:
     public_name_re: Pattern[str] = field(default=_PUBLIC_NAME_RE)
 
     #: SML003 / SML004 — directories forming the exact-arithmetic trusted
-    #: computing base, as path fragments.
+    #: computing base, as path fragments.  ``repro/parallel/`` joins the
+    #: set because its task envelopes ship key material into worker
+    #: processes: it must stay float-free and must never import the
+    #: untrusted server/net/client layers (execution policy only).
     tcb_dir_fragments: Tuple[str, ...] = (
         "repro/crypto/",
         "repro/gf/",
         "repro/ntheory/",
+        "repro/parallel/",
     )
 
     #: SML003 — TCB files allowed to use floats (the OPE hypergeometric
