@@ -169,8 +169,9 @@ class OPE:
             # one-way, parameter-bound namespace: shared caches never leak
             # entries across key groups or across parameterizations, and
             # never hold raw key material
-            label = "smatch-ope-cache-ns|{}|{}|{}".format(
-                params.split, params.plaintext_bits, params.expansion_bits
+            label = (
+                f"smatch-ope-cache-ns|{params.split}"
+                f"|{params.plaintext_bits}|{params.expansion_bits}"
             ).encode()
             self._cache_ns = DeterministicStream(self._key, label).read(16)
         else:

@@ -26,7 +26,7 @@ import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ParameterError
 from repro.obs.instrument import counting
@@ -289,7 +289,7 @@ def current_span() -> Optional[Span]:
     return tracer._stack[-1]
 
 
-def span(name: str, **attrs: Any):
+def span(name: str, **attrs: Any) -> Union["Span", "_NoopSpan"]:
     """A child span of the current trace, or a shared no-op when inactive.
 
     The inactive path is a single attribute lookup plus one function call —

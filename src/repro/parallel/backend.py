@@ -62,7 +62,7 @@ try:  # pragma: no cover - typing_extensions never needed at runtime
 except ImportError:  # pragma: no cover - Python < 3.8 is unsupported anyway
     Protocol = object  # type: ignore[assignment]
 
-    def runtime_checkable(cls):  # type: ignore[no-redef]
+    def runtime_checkable(cls: type) -> type:  # type: ignore[no-redef]
         return cls
 
 from repro.errors import ParallelError, ParameterError, WorkerCrashError

@@ -189,13 +189,14 @@ class KeyGenService:
                         ) from exc
                     self.evaluations_served += 1
                     metric_inc("smatch_keyservice_evaluations_total")
-                    # SML008 reviewed: the evaluated value is x^d mod N on a
-                    # value still masked by the client's blinding factor r^e —
-                    # the service (and any eavesdropper under the
-                    # SecureChannel) learns nothing about the underlying
-                    # profile attribute
+                    # the evaluated value is x^d mod N on a value still
+                    # masked by the client's blinding factor r^e, so it may
+                    # cross the wire: evaluate_blinded is registered as a
+                    # blinding-masked transform (LintConfig.wire_masked_calls)
+                    # and smatch-lint tracks its output as wire-safe while
+                    # still secret for the timing/size rules
                     return OprfResponse(
-                        request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
+                        request_id=message.request_id, evaluated=evaluated
                     )
             if isinstance(message, BatchedBlindEvalRequest):
                 with span(
@@ -244,10 +245,11 @@ class KeyGenService:
                         "smatch_keyservice_batched_evaluations_total",
                         len(evaluated),
                     )
-                    # SML008 reviewed: blinded-evaluation outputs, same
-                    # argument as the single-evaluation OprfResponse above
+                    # blinded-evaluation outputs: wire-safe through the same
+                    # registered blinding-mask transform as the
+                    # single-evaluation OprfResponse above
                     return BatchedBlindEvalResponse(
-                        request_id=message.request_id, evaluated=evaluated  # smatch-lint: disable=SML008
+                        request_id=message.request_id, evaluated=evaluated
                     )
             raise ProtocolError(
                 f"key service cannot handle {type(message).__name__}"

@@ -94,10 +94,10 @@ class MobileServiceSimulation:
     def __init__(
         self,
         spec: DatasetSpec,
-        config: SimConfig = SimConfig(),
+        config: Optional[SimConfig] = None,
         scheme: Optional[SMatch] = None,
     ) -> None:
-        self.config = config
+        self.config = config = config if config is not None else SimConfig()
         self._rng = SystemRandomSource(seed=config.seed)
         self.population = ClusteredPopulation(
             spec, theta=config.theta, rng=self._rng

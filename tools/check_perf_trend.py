@@ -44,9 +44,9 @@ def load_artifact(path: Path) -> Dict:
     try:
         artifact = json.loads(path.read_text())
     except OSError as exc:
-        raise ValueError(f"{path}: unreadable ({exc})")
+        raise ValueError(f"{path}: unreadable ({exc})") from exc
     except json.JSONDecodeError as exc:
-        raise ValueError(f"{path}: invalid JSON ({exc})")
+        raise ValueError(f"{path}: invalid JSON ({exc})") from exc
     ops = artifact.get("ops")
     if not isinstance(ops, dict) or not ops:
         raise ValueError(f"{path}: artifact has no ops table")
@@ -71,8 +71,10 @@ def parse_min_speedups(flags: List[str]) -> Dict[str, float]:
             raise ValueError(f"--min-speedup {flag!r} is not NAME=VALUE")
         try:
             floors[name] = float(raw)
-        except ValueError:
-            raise ValueError(f"--min-speedup {flag!r}: {raw!r} is not a number")
+        except ValueError as exc:
+            raise ValueError(
+                f"--min-speedup {flag!r}: {raw!r} is not a number"
+            ) from exc
     return floors
 
 

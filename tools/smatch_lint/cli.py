@@ -106,6 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dump the SML007–SML009 taint flows per function and exit",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".smatch_lint_cache"),
+        metavar="DIR",
+        help="directory for the incremental summary cache "
+        "(default: .smatch_lint_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk summary cache (full re-analysis)",
+    )
     return parser
 
 
@@ -158,6 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.paths,
         DEFAULT_CONFIG,
         report_unused_suppressions=args.report_unused_suppressions,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
     violations = [v for v in violations if v.code in active]
     counts = Counter(v.code for v in violations)

@@ -52,6 +52,12 @@ _WIRE_MESSAGE_CTOR_RE = re.compile(
     r"(?:Message|Request|Response|Result|Entry|Info)$"
 )
 
+#: Function names that denote parallel task units (SML011): the chunk
+#: functions shipped to worker processes and the pool worker plumbing.
+#: Matched against whole underscore-delimited trailing segments, so
+#: ``enroll_chunk``, ``bulk_match_chunk``, and ``_initialize_worker`` hit.
+_PARALLEL_TASK_NAME_RE = re.compile(r"(?:^|_)(?:chunk|task|worker)s?$")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -181,6 +187,85 @@ class LintConfig:
     #: drives padding and batch loops.
     size_sink_calls: Tuple[str, ...] = ("bytes", "bytearray", "range")
 
+    # -- SML010: process-boundary serialization ------------------------------------
+
+    #: Sources whose outputs are secret-derived but *masked*: the OPRF
+    #: blind evaluation returns x^d mod N on a value still hidden by the
+    #: client's blinding factor r^e, so the result may cross wire and
+    #: process boundaries (SML008/SML010) while remaining secret for the
+    #: timing/size rules.  The precise replacement for the two line-level
+    #: SML008 waivers the keyservice response path used to carry.
+    wire_masked_calls: Tuple[str, ...] = ("evaluate_blinded",)
+
+    #: Path fragments where SML010 applies: everywhere a task envelope or
+    #: pickle payload can be minted — the parallel layer itself, the
+    #: server handlers that fan work out, and the enrollment core.
+    boundary_scope_fragments: Tuple[str, ...] = (
+        "repro/net/",
+        "repro/server/",
+        "repro/parallel/",
+        "repro/core/",
+    )
+
+    #: Calls whose arguments are serialized across a process boundary:
+    #: ``pickle.dumps``/``dump``, task-envelope constructors, pool
+    #: ``submit``, and shared-memory segments.
+    boundary_sink_calls: Tuple[str, ...] = (
+        "dumps",
+        "dump",
+        "TaskEnvelope",
+        "SharedMemory",
+        "ShareableList",
+    )
+
+    #: Keyword arguments that ship their value into worker processes even
+    #: though the surrounding call is not itself a sink (``Pool(...,
+    #: initargs=(ctx,))`` pickles the tuple into every worker).
+    boundary_kwargs: Tuple[str, ...] = ("initargs",)
+
+    # -- SML011: parallel determinism ----------------------------------------------
+
+    #: Path fragments where the cross-backend byte-identical contract
+    #: holds; SML011 audits task-unit functions here.
+    parallel_scope_fragments: Tuple[str, ...] = ("repro/parallel/",)
+
+    #: Function-name pattern for parallel task units (see module docs).
+    parallel_task_name_re: Pattern[str] = field(default=_PARALLEL_TASK_NAME_RE)
+
+    #: Wall-clock reads (``time.time()``, ``datetime.now()``, ...): their
+    #: values differ per worker and per run, so any result derived from
+    #: them breaks byte-identical replay.
+    nondet_time_calls: Tuple[str, ...] = (
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "now",
+        "utcnow",
+    )
+
+    #: Unseeded randomness calls: OS entropy and global-RNG draws cannot
+    #: be replayed, so task units must derive randomness from the seeds
+    #: carried in their specs.
+    nondet_random_calls: Tuple[str, ...] = (
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "shuffle",
+        "sample",
+        "token_bytes",
+        "token_hex",
+        "urandom",
+    )
+
+    #: Seedable randomness-source constructors: calling one *without* a
+    #: seed argument inside a task unit draws OS entropy per worker.
+    seedable_source_ctors: Tuple[str, ...] = ("SystemRandomSource",)
+
     #: Per-path rule ignore sets: ``(path fragment, rule codes)`` pairs.
     #: Test code asserts on equality of freshly derived keys (that *is*
     #: the test) and seeds module-level randomness for reproducibility, so
@@ -246,6 +331,30 @@ class LintConfig:
     def is_size_sink(self, name: str) -> bool:
         """True when a call's first argument sets a size (SML009)."""
         return name in self.size_sink_calls
+
+    def is_wire_masked(self, name: str) -> bool:
+        """True when a source call's output is blinded/sealed (wire-safe)."""
+        return name in self.wire_masked_calls
+
+    def is_boundary_scope(self, posix_path: str) -> bool:
+        """True when SML010 applies to this file."""
+        return any(frag in posix_path for frag in self.boundary_scope_fragments)
+
+    def is_boundary_sink(self, name: str) -> bool:
+        """True when a call serializes its arguments across processes."""
+        return name in self.boundary_sink_calls
+
+    def is_boundary_kwarg(self, keyword: str) -> bool:
+        """True when a keyword argument ships its value into workers."""
+        return keyword in self.boundary_kwargs
+
+    def is_parallel_scope(self, posix_path: str) -> bool:
+        """True when SML011 applies to this file."""
+        return any(frag in posix_path for frag in self.parallel_scope_fragments)
+
+    def is_parallel_task_name(self, name: str) -> bool:
+        """True when a function name denotes a parallel task unit."""
+        return bool(self.parallel_task_name_re.search(name))
 
     def ignored_rules_for_path(self, posix_path: str) -> FrozenSet[str]:
         """Rule codes switched off for this path (test-specific set)."""

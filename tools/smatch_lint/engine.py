@@ -25,9 +25,12 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from tools.smatch_lint import cache as lint_cache
+from tools.smatch_lint import summaries as program_summaries
 from tools.smatch_lint.config import DEFAULT_CONFIG, LintConfig
+from tools.smatch_lint.modgraph import Program
 from tools.smatch_lint.rules import RULE_CODES, RULES, RuleContext
 
 __all__ = ["Violation", "lint_source", "lint_paths", "iter_python_files"]
@@ -128,24 +131,58 @@ def lint_source(
     scope, ...).  With ``report_unused_suppressions``, directives that
     waived nothing are reported as ``SML000`` findings so stale waivers
     get swept out of the tree.
+
+    This is the *per-module* entry point: imported callees are unknown
+    (conservatively tainted).  :func:`lint_paths` runs in whole-program
+    mode, resolving calls through the import graph.
+    """
+    return _check_file(
+        source,
+        path,
+        config,
+        report_unused_suppressions=report_unused_suppressions,
+    )
+
+
+def _check_file(
+    source: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+    *,
+    report_unused_suppressions: bool = False,
+    imports: Optional[object] = None,
+    tree: Optional[ast.Module] = None,
+    taint_result: Optional[object] = None,
+) -> List[Violation]:
+    """Shared rule-dispatch core for per-module and whole-program modes.
+
+    ``imports`` is a resolver from :mod:`tools.smatch_lint.summaries`;
+    ``tree``/``taint_result`` let the whole-program driver reuse its
+    parsed AST and already-computed taint analysis.
     """
     posix = path.replace("\\", "/")
-    try:
-        tree = ast.parse(source, filename=posix)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=posix,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) or 1,
-                code="SML000",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=posix,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    code="SML000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
     per_line, file_wide, secret_lines, violations = _parse_directives(source, posix)
     ctx = RuleContext(
-        path=posix, config=config, secret_lines=frozenset(secret_lines)
+        path=posix,
+        config=config,
+        secret_lines=frozenset(secret_lines),
+        imports=imports,
     )
+    if taint_result is not None:
+        ctx.cache["taint"] = taint_result
     path_ignored = config.ignored_rules_for_path(posix)
     used_file_wide: Set[str] = set()
     used_per_line: Dict[int, Set[str]] = {}
@@ -221,28 +258,118 @@ def lint_paths(
     config: LintConfig = DEFAULT_CONFIG,
     *,
     report_unused_suppressions: bool = False,
+    cache_dir: Optional[Path] = None,
 ) -> Tuple[List[Violation], int]:
-    """Lint every python file under ``paths``.
+    """Lint every python file under ``paths`` in whole-program mode.
 
     Returns ``(violations, files_checked)``.  Paths are reported relative
     to the current working directory when possible (matching how the CLI
     is normally invoked from the repo root).
+
+    The import closure of the requested files is built first; modules
+    reachable only through imports contribute taint summaries (so a
+    server handler calling into ``repro.core`` sees the callee's real
+    flows) but are not themselves reported.  Results are cached per
+    module keyed by a transitive content fingerprint — in memory always,
+    and on disk under ``cache_dir`` when given — so warm runs only
+    re-analyze modules whose import cone actually changed.
     """
     violations: List[Violation] = []
     files = iter_python_files(paths)
     cwd = Path.cwd()
+    requested: List[Tuple[Path, str, str]] = []
     for file_path in files:
         try:
             rel = file_path.resolve().relative_to(cwd)
         except ValueError:
             rel = file_path
         source = file_path.read_text(encoding="utf-8")
-        violations.extend(
-            lint_source(
-                source,
-                rel.as_posix(),
-                config,
-                report_unused_suppressions=report_unused_suppressions,
-            )
+        requested.append((file_path, rel.as_posix(), source))
+
+    program = Program.build(requested, extra_roots=(cwd, cwd / "src"))
+
+    store = lint_cache.SummaryStore(
+        lint_cache.analysis_fingerprint(
+            config, RULE_CODES, report_unused_suppressions
+        ),
+        disk_path=(Path(cache_dir) / "cache.json") if cache_dir else None,
+    )
+    hashes = {
+        name: lint_cache.content_hash(node.display_path, node.source)
+        for name, node in program.modules.items()
+    }
+    fingerprints = lint_cache.transitive_fingerprints(program, hashes)
+
+    # secret annotations are taint sources even in closure-only modules
+    secret_lines: Dict[str, frozenset] = {}
+    for name, node in program.modules.items():
+        _pl, _fw, lines, _problems = _parse_directives(
+            node.source, node.display_path
         )
+        secret_lines[name] = frozenset(lines)
+
+    preloaded = {}
+    for name in program.modules:
+        stored = store.summary(name, fingerprints[name])
+        if stored is not None:
+            preloaded[name] = program_summaries.ModuleSummary.from_dict(stored)
+
+    analysis = program_summaries.analyze_program(
+        program, config, secret_lines, preloaded
+    )
+
+    for file_path, display, source in requested:
+        node = program.node_for_path(file_path)
+        if node is None or node.display_path != display:
+            # unparseable (the syntax error is the finding) or shadowed by
+            # a same-named module: lint standalone, without summaries
+            violations.extend(
+                _check_file(
+                    source,
+                    display,
+                    config,
+                    report_unused_suppressions=report_unused_suppressions,
+                )
+            )
+            continue
+        tfp = fingerprints[node.name]
+        cached = store.violations(node.name, tfp)
+        if cached is not None:
+            violations.extend(
+                Violation(
+                    path=str(entry["path"]),
+                    line=int(entry["line"]),  # type: ignore[arg-type]
+                    col=int(entry["col"]),  # type: ignore[arg-type]
+                    code=str(entry["code"]),
+                    message=str(entry["message"]),
+                )
+                for entry in cached
+            )
+            continue
+        env = program_summaries.ImportEnv(node, program, analysis.summaries)
+        file_violations = _check_file(
+            source,
+            display,
+            config,
+            report_unused_suppressions=report_unused_suppressions,
+            imports=env,
+            tree=node.tree,
+            taint_result=analysis.taints.get(node.name),
+        )
+        violations.extend(file_violations)
+        store.store(
+            node.name,
+            tfp,
+            analysis.summaries[node.name].as_dict(),
+            [v.as_dict() for v in file_violations],
+        )
+
+    # closure-only modules persist their summaries so a future edit of a
+    # *requested* file reuses them without re-analysis
+    for name in program.modules:
+        if name in analysis.summaries:
+            store.store(
+                name, fingerprints[name], analysis.summaries[name].as_dict(), None
+            )
+    store.save()
     return sorted(violations), len(files)

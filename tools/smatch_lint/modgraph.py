@@ -1,0 +1,383 @@
+"""Import resolution and the module dependency graph.
+
+PR 4's taint engine stops at the file boundary: a call to an imported
+helper is an *unknown* call, conservatively assumed to pass every argument
+taint through and to introduce none.  That is both imprecise (a helper
+that launders its input through ``constant_time_eq`` still looks tainted)
+and unsound in the direction that matters (a helper that *returns* secret
+material looks clean when called with clean arguments).  Whole-program
+analysis needs to know, for every module, which other analyzed modules it
+imports and what each imported name refers to — this module builds that
+layer on stdlib ``ast`` alone.
+
+Three pieces:
+
+* **module identity** — a file's dotted module name and the package root
+  imports resolve against, derived the way Python itself does it: walk up
+  from the file while ``__init__.py`` exists (:func:`module_identity`).
+  ``src/repro/server/keyservice.py`` → ``repro.server.keyservice`` rooted
+  at ``src/``; ``tools/smatch_lint/engine.py`` → rooted at the repo root.
+* **import bindings** — per module, every local name an ``import`` /
+  ``from ... import`` statement binds, resolved to an absolute target
+  (:class:`ImportBinding`): the module it names and, for ``from x import
+  y`` where ``y`` is not itself a module, the attribute.  Aliases
+  (``import a.b as c``, ``from x import y as z``) and relative imports
+  are resolved here so downstream consumers only ever see absolute names.
+* **the graph** — :class:`Program` holds every module reachable from the
+  requested files through resolvable imports (the *closure*; imports that
+  do not land on an analyzed root, e.g. the stdlib, are simply absent),
+  plus Tarjan SCCs in dependency-first topological order so summaries can
+  be computed bottom-up with bounded iteration inside each cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ImportBinding",
+    "ModuleNode",
+    "Program",
+    "module_identity",
+]
+
+
+@dataclass(frozen=True)
+class ImportBinding:
+    """What one locally bound name imported from elsewhere refers to.
+
+    ``module`` is the absolute dotted module the binding targets; ``attr``
+    is the attribute taken from it (``from x import y`` → ``attr="y"``) or
+    ``None`` when the binding *is* the module (``import x as z`` or
+    ``from pkg import submodule``).
+    """
+
+    module: str
+    attr: Optional[str] = None
+
+
+@dataclass
+class ModuleNode:
+    """One analyzed module: identity, parsed tree, and import facts."""
+
+    name: str
+    path: Path
+    #: POSIX path used in reports (relative to cwd when possible)
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: local binding name -> what it imports
+    bindings: Dict[str, ImportBinding] = field(default_factory=dict)
+    #: absolute names of imported modules that resolved inside the program
+    deps: Set[str] = field(default_factory=set)
+    #: True when the module was explicitly requested (reported), False
+    #: when it joined the program only as an import target (summaries only)
+    requested: bool = False
+
+
+def module_identity(path: Path) -> Tuple[str, Path]:
+    """The dotted module name of ``path`` and its package root.
+
+    Mirrors import semantics: the package root is the first ancestor
+    directory *without* an ``__init__.py``; the dotted name is the path
+    from there to the file, with ``__init__`` naming the package itself.
+    """
+    resolved = path.resolve()
+    package_dir = resolved.parent
+    parts: List[str] = []
+    while (package_dir / "__init__.py").exists():
+        parts.append(package_dir.name)
+        package_dir = package_dir.parent
+    parts.reverse()
+    stem = resolved.stem
+    if stem != "__init__":
+        parts.append(stem)
+    name = ".".join(parts) if parts else stem
+    return name, package_dir
+
+
+def _resolve_module_path(dotted: str, roots: Sequence[Path]) -> Optional[Path]:
+    """The file a dotted module name resolves to under ``roots``, if any."""
+    rel = Path(*dotted.split("."))
+    for root in roots:
+        as_module = root / rel.with_suffix(".py")
+        if as_module.is_file():
+            return as_module
+        as_package = root / rel / "__init__.py"
+        if as_package.is_file():
+            return as_package
+    return None
+
+
+def _absolute_base(importer: str, is_package: bool, level: int) -> Optional[str]:
+    """The package a relative import of ``level`` resolves against."""
+    parts = importer.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    base = parts[: len(parts) - drop]
+    return ".".join(base) if base else None
+
+
+def collect_imports(
+    tree: ast.Module, module_name: str, is_package: bool
+) -> List[Tuple[str, ImportBinding]]:
+    """All top-level-visible import bindings of one module.
+
+    Walks the whole tree (imports inside functions count: lazy imports are
+    still call targets), resolving relative levels against
+    ``module_name``.  Returns ``(local name, binding)`` pairs; later
+    bindings of the same name win, matching execution order.
+    """
+    found: List[Tuple[str, ImportBinding]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    found.append((alias.asname, ImportBinding(alias.name)))
+                else:
+                    # ``import a.b.c`` binds the root name ``a``; dotted
+                    # attribute access is resolved against that root
+                    root = alias.name.split(".")[0]
+                    found.append((root, ImportBinding(root)))
+                    if "." in alias.name:
+                        # remember the full chain too, so summary lookup
+                        # can resolve ``a.b.c.f()`` without re-deriving it
+                        found.append((alias.name, ImportBinding(alias.name)))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module
+            else:
+                base = _absolute_base(module_name, is_package, node.level)
+                if base is None:
+                    continue
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue  # star imports stay conservative (unresolved)
+                local = alias.asname or alias.name
+                found.append((local, ImportBinding(base, alias.name)))
+    return found
+
+
+@dataclass
+class Program:
+    """The whole-program view: all modules, deps, and an analysis order."""
+
+    #: dotted module name -> node
+    modules: Dict[str, ModuleNode] = field(default_factory=dict)
+    #: package roots imports were resolved against
+    roots: List[Path] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        files: Iterable[Tuple[Path, str, str]],
+        extra_roots: Sequence[Path] = (),
+        max_modules: int = 4096,
+    ) -> "Program":
+        """The import closure of ``files``.
+
+        ``files`` yields ``(path, display_path, source)`` for every
+        explicitly requested file.  Each file's own package root (plus any
+        ``src/`` sibling of it and ``extra_roots``) joins the resolution
+        root set, so a program spanning ``src/`` + ``tools/`` + ``tests/``
+        resolves across all three.  Unresolvable imports (stdlib, third
+        party) are silently treated as unknown — the taint engine stays
+        conservative about them.
+        """
+        program = cls()
+        root_set: List[Path] = []
+
+        def add_root(root: Path) -> None:
+            if root not in root_set:
+                root_set.append(root)
+
+        for root in extra_roots:
+            add_root(Path(root).resolve())
+
+        queue: List[Tuple[Path, Optional[str], Optional[str], bool]] = []
+        seen_paths: Set[Path] = set()
+        for path, display, source in files:
+            queue.append((Path(path), display, source, True))
+
+        while queue and len(program.modules) < max_modules:
+            path, display, source, requested = queue.pop(0)
+            resolved = path.resolve()
+            if resolved in seen_paths:
+                # a closure-only module later requested explicitly must
+                # still be reported
+                if requested:
+                    for node in program.modules.values():
+                        if node.path == resolved:
+                            node.requested = True
+                            if display is not None:
+                                node.display_path = display
+                continue
+            seen_paths.add(resolved)
+            if source is None:
+                try:
+                    source = resolved.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+            name, package_root = module_identity(resolved)
+            add_root(package_root)
+            src_sibling = package_root / "src"
+            if src_sibling.is_dir():
+                add_root(src_sibling)
+            try:
+                tree = ast.parse(source, filename=str(resolved))
+            except SyntaxError:
+                # requested files with syntax errors are reported by the
+                # per-file lint pass; they contribute nothing to the graph
+                continue
+            if display is None:
+                display = _display_path(resolved)
+            node = ModuleNode(
+                name=name,
+                path=resolved,
+                display_path=display,
+                source=source,
+                tree=tree,
+                requested=requested,
+            )
+            is_package = resolved.name == "__init__.py"
+            for local, binding in collect_imports(tree, name, is_package):
+                node.bindings[local] = binding
+            # keep the first-seen node for a name (requested files win the
+            # queue order); duplicate module names from disjoint roots are
+            # rare and only cost precision, never correctness
+            if name not in program.modules or requested:
+                program.modules[name] = node
+            # enqueue import targets for the closure
+            for binding in node.bindings.values():
+                for target in _candidate_modules(binding):
+                    if target in program.modules:
+                        continue
+                    target_path = _resolve_module_path(target, root_set)
+                    if target_path is not None and target_path not in seen_paths:
+                        queue.append((target_path, None, None, False))
+        program.roots = root_set
+        program._link_deps()
+        return program
+
+    # -- graph structure --------------------------------------------------------
+
+    def _link_deps(self) -> None:
+        """Fill each node's ``deps`` with program-internal import edges."""
+        for node in self.modules.values():
+            node.deps.clear()
+            for binding in node.bindings.values():
+                for target in _candidate_modules(binding):
+                    if target in self.modules and target != node.name:
+                        node.deps.add(target)
+                        break
+
+    def node_for_path(self, path: Path) -> Optional[ModuleNode]:
+        """The module node behind a filesystem path, if analyzed."""
+        resolved = Path(path).resolve()
+        for node in self.modules.values():
+            if node.path == resolved:
+                return node
+        return None
+
+    def sccs_topological(self) -> List[List[str]]:
+        """Strongly connected components, dependencies-first.
+
+        Tarjan's algorithm (iterative — analysis targets can be deep).
+        Tarjan emits SCCs in reverse topological order of the condensation
+        when edges point at dependencies, which is exactly
+        dependencies-first: each SCC appears after everything it depends
+        on has already been emitted.
+        """
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        for start in sorted(self.modules):
+            if start in index:
+                continue
+            work: List[Tuple[str, int]] = [(start, 0)]
+            while work:
+                name, edge_i = work[-1]
+                if edge_i == 0:
+                    index[name] = lowlink[name] = counter[0]
+                    counter[0] += 1
+                    stack.append(name)
+                    on_stack.add(name)
+                deps = sorted(self.modules[name].deps)
+                advanced = False
+                while edge_i < len(deps):
+                    dep = deps[edge_i]
+                    edge_i += 1
+                    if dep not in index:
+                        work[-1] = (name, edge_i)
+                        work.append((dep, 0))
+                        advanced = True
+                        break
+                    if dep in on_stack:
+                        lowlink[name] = min(lowlink[name], index[dep])
+                if advanced:
+                    continue
+                work[-1] = (name, edge_i)
+                if edge_i >= len(deps):
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[name])
+                    if lowlink[name] == index[name]:
+                        scc: List[str] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            scc.append(member)
+                            if member == name:
+                                break
+                        sccs.append(sorted(scc))
+        return sccs
+
+    def transitive_deps(self, name: str) -> Set[str]:
+        """All modules reachable from ``name`` through import edges."""
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            node = self.modules.get(current)
+            if node is None:
+                continue
+            for dep in node.deps:
+                if dep not in seen:
+                    seen.add(dep)
+                    frontier.append(dep)
+        seen.discard(name)
+        return seen
+
+
+def _candidate_modules(binding: ImportBinding) -> Tuple[str, ...]:
+    """Module names a binding may refer to, most specific first.
+
+    ``from a import b`` may import submodule ``a.b`` or attribute ``b`` of
+    module ``a`` — both are tried during resolution.
+    """
+    if binding.attr is None:
+        return (binding.module,)
+    return (f"{binding.module}.{binding.attr}", binding.module)
+
+
+def _display_path(path: Path) -> str:
+    """Report path relative to cwd when possible (matching the CLI)."""
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()

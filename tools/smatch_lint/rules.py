@@ -34,6 +34,9 @@ class RuleContext:
     secret_lines: FrozenSet[int] = frozenset()
     #: per-file scratch space so the taint rules share one dataflow pass
     cache: Dict[str, object] = field(default_factory=dict, compare=False)
+    #: whole-program import resolver (``tools.smatch_lint.summaries``);
+    #: ``None`` when linting a single source in isolation
+    imports: Optional[object] = field(default=None, compare=False)
 
 
 class Rule:
@@ -83,15 +86,18 @@ class RandomImportRule(Rule):
                             "direct `import random` — draw randomness "
                             "through repro.utils.rand instead",
                         )
-            elif isinstance(node, ast.ImportFrom):
-                if node.level == 0 and (node.module or "").split(".")[0] == "random":
-                    line, col = _at(node)
-                    yield (
-                        line,
-                        col,
-                        "`from random import ...` — draw randomness "
-                        "through repro.utils.rand instead",
-                    )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and (node.module or "").split(".")[0] == "random"
+            ):
+                line, col = _at(node)
+                yield (
+                    line,
+                    col,
+                    "`from random import ...` — draw randomness "
+                    "through repro.utils.rand instead",
+                )
 
 
 class SecretEqualityRule(Rule):
@@ -415,12 +421,27 @@ class _TaintRule(Rule):
     def describe(self, event: "taint.TaintEvent") -> str:
         raise NotImplementedError
 
+    def in_scope(self, ctx: RuleContext) -> bool:
+        """Whether the rule applies to this file (default: taint scope)."""
+        return ctx.config.is_taint_scope(ctx.path)
+
+    def wants(self, event: "taint.TaintEvent") -> bool:
+        """Per-event filter hook (e.g. skip blinded/sealed values)."""
+        return True
+
+    def events(
+        self, module: "taint.ModuleTaint"
+    ) -> Iterator[Tuple["taint.FunctionTaint", "taint.TaintEvent"]]:
+        yield from module.events(*self.contexts)
+
     def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
-        if not ctx.config.is_taint_scope(ctx.path):
+        if not self.in_scope(ctx):
             return
         module = taint.analyze_module(tree, ctx)
         seen = set()
-        for _fn, event in module.events(*self.contexts):
+        for _fn, event in self.events(module):
+            if not self.wants(event):
+                continue
             key = (event.line, event.col, event.taint.source, event.taint.kind)
             if key in seen:
                 continue
@@ -471,6 +492,11 @@ class TaintWireRule(_TaintRule):
     code = "SML008"
     contexts = ("wire",)
 
+    def wants(self, event: "taint.TaintEvent") -> bool:
+        # blinded/sealed values (``wire_ok``) are what the adversary is
+        # allowed to see — only bare secret material is a wire finding
+        return not event.taint.wire_ok
+
     def describe(self, event: "taint.TaintEvent") -> str:
         return (
             f"{event.taint.describe()} reaches wire sink "
@@ -501,6 +527,172 @@ class TaintSizeRule(_TaintRule):
         )
 
 
+class ProcessBoundaryRule(_TaintRule):
+    """SML010: secrets must not cross a process boundary unsealed.
+
+    PR 5's multiprocess backend created a new leak surface the wire rules
+    never see: a :class:`~repro.parallel.backend.TaskEnvelope` context, a
+    pool ``initargs`` tuple, or a ``pickle.dumps`` payload is serialized
+    into worker processes — written to pipes the OS may buffer to disk,
+    inherited by any forked child, and visible to same-host observers the
+    §IV honest-but-curious model does not exclude.  Secret material may
+    only make the crossing in an approved sealed or derived form (the
+    ``seal``/``encrypt`` family, or blinded OPRF outputs).  The rule also
+    audits ``__reduce__``/``__getstate__``/``__reduce_ex__`` return
+    values, since those define what pickling will ship implicitly.
+    """
+
+    code = "SML010"
+    contexts = ("process-boundary",)
+
+    #: pickling protocol methods whose return value IS the serialized form
+    _PICKLE_METHODS = ("__reduce__", "__reduce_ex__", "__getstate__")
+
+    def in_scope(self, ctx: RuleContext) -> bool:
+        return ctx.config.is_boundary_scope(ctx.path)
+
+    def wants(self, event: "taint.TaintEvent") -> bool:
+        return not event.taint.wire_ok
+
+    def events(
+        self, module: "taint.ModuleTaint"
+    ) -> Iterator[Tuple["taint.FunctionTaint", "taint.TaintEvent"]]:
+        yield from module.events(*self.contexts)
+        for fn in module.functions:
+            if fn.qualname.split(".")[-1] not in self._PICKLE_METHODS:
+                continue
+            for event in fn.real_events():
+                if event.context == "return":
+                    yield fn, event
+
+    def describe(self, event: "taint.TaintEvent") -> str:
+        if event.detail == "return":
+            return (
+                f"{event.taint.describe()} is returned from a pickling "
+                "protocol method — everything __reduce__/__getstate__ "
+                "return is serialized into worker processes; drop or seal "
+                "secret fields first"
+            )
+        return (
+            f"{event.taint.describe()} crosses a process boundary via "
+            f"{event.detail!r} — task contexts and initializer args are "
+            "pickled into workers; ship a sealed or derived form instead"
+        )
+
+
+class ParallelDeterminismRule(Rule):
+    """SML011: parallel task units must be deterministic and replayable.
+
+    The execution-policy contract (PR 5) is that serial, thread, and
+    process backends produce byte-identical artifacts, so experiments are
+    independent of scheduling.  Inside a task unit (``*_chunk`` /
+    ``*_task`` / ``*_worker`` functions under ``repro/parallel/``) that
+    contract is broken by: iterating an unordered ``set``/``frozenset``
+    (or dict views taken of one) to build results, reading the wall clock,
+    or drawing unseeded randomness (global RNG, OS entropy, or a seedable
+    source constructed without its seed).  Sort the collection, thread a
+    timestamp in from the coordinator, or derive randomness from the seed
+    carried in the task spec.
+    """
+
+    code = "SML011"
+
+    #: dict/set view accessors whose iteration order SML011 distrusts when
+    #: taken of an unordered collection built inside the task
+    _VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+    @staticmethod
+    def _is_unordered(expr: ast.expr) -> bool:
+        """True for expressions that produce unordered collections."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        return False
+
+    def _iter_findings(
+        self, func: ast.AST, ctx: RuleContext
+    ) -> Iterator[Finding]:
+        config = ctx.config
+        # everything lexically inside the task unit executes in the worker,
+        # nested helpers included, so the whole subtree is audited
+        for node in ast.walk(func):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                target = it
+                # ``d.items()`` over an unordered base — unwrap the view
+                if (
+                    isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Attribute)
+                    and target.func.attr in self._VIEW_METHODS
+                ):
+                    target = target.func.value
+                if self._is_unordered(target):
+                    line, col = _at(it)
+                    yield (
+                        line,
+                        col,
+                        "iteration over an unordered set in a parallel task "
+                        "unit — ordering varies across workers and runs; "
+                        "wrap in sorted() to keep backends byte-identical",
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            fname: Optional[str] = None
+            is_method = False
+            if isinstance(node.func, ast.Name):
+                fname = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                fname = node.func.attr
+                is_method = True
+            if fname is None:
+                continue
+            line, col = _at(node)
+            if fname in config.nondet_time_calls and (
+                is_method or fname not in ("now", "utcnow")
+            ):
+                yield (
+                    line,
+                    col,
+                    f"wall-clock read {fname}() in a parallel task unit — "
+                    "timestamps differ per worker; take time on the "
+                    "coordinator and ship it in the task spec",
+                )
+            elif fname in config.nondet_random_calls:
+                yield (
+                    line,
+                    col,
+                    f"unseeded randomness {fname}() in a parallel task "
+                    "unit — draws cannot be replayed; derive randomness "
+                    "from the seed carried in the task spec",
+                )
+            elif (
+                fname in config.seedable_source_ctors
+                and not node.args
+                and not node.keywords
+            ):
+                yield (
+                    line,
+                    col,
+                    f"{fname}() constructed without a seed in a parallel "
+                    "task unit — each worker draws distinct OS entropy; "
+                    "pass the per-task seed explicitly",
+                )
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if not ctx.config.is_parallel_scope(ctx.path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and ctx.config.is_parallel_task_name(node.name):
+                yield from self._iter_findings(node, ctx)
+
+
 RULES: Tuple[Type[Rule], ...] = (
     RandomImportRule,
     SecretEqualityRule,
@@ -511,6 +703,8 @@ RULES: Tuple[Type[Rule], ...] = (
     TaintTimingRule,
     TaintWireRule,
     TaintSizeRule,
+    ProcessBoundaryRule,
+    ParallelDeterminismRule,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)

@@ -1,0 +1,259 @@
+"""Whole-program taint summaries over the module dependency graph.
+
+:mod:`tools.smatch_lint.taint` analyzes one module at a time; this module
+lifts it to the program level.  Given a :class:`~tools.smatch_lint.modgraph.
+Program`, it computes a :class:`ModuleSummary` for every module — the
+top-level function and class summaries plus re-export bindings — in
+dependency-first SCC order, so by the time a server handler is analyzed the
+summaries of every helper it imports are already final.  Import cycles are
+handled by iterating each multi-module SCC to a bounded fixpoint.
+
+The per-module :class:`ImportEnv` is what the taint engine sees as
+``ctx.imports``: it resolves a call-site name chain (``helper``,
+``mod.helper``, ``pkg.mod.Class``) through the module's import bindings and
+re-export chains to the callee's summary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Union
+
+from tools.smatch_lint.config import LintConfig
+from tools.smatch_lint.modgraph import ImportBinding, ModuleNode, Program
+from tools.smatch_lint import taint
+from tools.smatch_lint.taint import ClassSummary, FunctionSummary, ModuleTaint
+
+__all__ = [
+    "ModuleSummary",
+    "ImportEnv",
+    "ProgramAnalysis",
+    "analyze_program",
+]
+
+#: rounds of re-analysis for a cyclic SCC before accepting the fixpoint
+_MAX_SCC_ROUNDS = 3
+
+#: re-export chains longer than this are abandoned (cycle guard)
+_MAX_REEXPORT_DEPTH = 8
+
+Resolved = Union[FunctionSummary, ClassSummary]
+
+
+@dataclass
+class ModuleSummary:
+    """Everything other modules may consume from one module."""
+
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    #: import bindings double as re-exports: ``from .keygen import
+    #: ProfileKey`` in a package ``__init__`` makes ``pkg.ProfileKey``
+    #: resolve through here
+    reexports: Dict[str, ImportBinding] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for the on-disk summary cache."""
+        return {
+            "functions": {
+                n: s.as_dict() for n, s in sorted(self.functions.items())
+            },
+            "classes": {n: c.as_dict() for n, c in sorted(self.classes.items())},
+            "reexports": {
+                n: [b.module, b.attr] for n, b in sorted(self.reexports.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModuleSummary":
+        return cls(
+            functions={
+                n: FunctionSummary.from_dict(s)
+                for n, s in data["functions"].items()  # type: ignore[union-attr]
+            },
+            classes={
+                n: ClassSummary.from_dict(c)
+                for n, c in data["classes"].items()  # type: ignore[union-attr]
+            },
+            reexports={
+                n: ImportBinding(module=m, attr=a)
+                for n, (m, a) in data["reexports"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+class ImportEnv:
+    """Resolves one module's call-site name chains to callee summaries."""
+
+    def __init__(
+        self,
+        node: ModuleNode,
+        program: Program,
+        summaries: Dict[str, ModuleSummary],
+    ) -> None:
+        self._bindings = node.bindings
+        self._program = program
+        self._summaries = summaries
+
+    def resolve(self, chain: tuple) -> Optional[Resolved]:
+        """The summary a dotted name chain targets, or ``None``.
+
+        Tries the longest binding prefix first, so ``pkg.mod.f`` prefers
+        the explicit ``import pkg.mod`` binding over the bare ``pkg`` one.
+        """
+        for split in range(len(chain) - 1 if len(chain) > 1 else 1, 0, -1):
+            key = ".".join(chain[:split])
+            binding = self._bindings.get(key)
+            if binding is None:
+                continue
+            attrs = tuple(chain[split:])
+            if binding.attr is not None:
+                attrs = (binding.attr,) + attrs
+            resolved = self._lookup(binding.module, attrs, 0)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _lookup(
+        self, module: str, attrs: tuple, depth: int
+    ) -> Optional[Resolved]:
+        """Walk ``attrs`` down from ``module``, chasing re-exports."""
+        if not attrs or depth > _MAX_REEXPORT_DEPTH:
+            return None
+        # the leading attr may name a submodule rather than a definition
+        submodule = f"{module}.{attrs[0]}"
+        if submodule in self._program.modules and len(attrs) > 1:
+            resolved = self._lookup(submodule, attrs[1:], depth + 1)
+            if resolved is not None:
+                return resolved
+        summary = self._summaries.get(module)
+        if summary is None:
+            return None
+        name = attrs[0]
+        if len(attrs) == 1:
+            if name in summary.functions:
+                return summary.functions[name]
+            if name in summary.classes:
+                return summary.classes[name]
+        elif len(attrs) == 2 and name in summary.classes:
+            return summary.classes[name].methods.get(attrs[1])
+        reexport = summary.reexports.get(name)
+        if reexport is not None:
+            chased = attrs[1:]
+            if reexport.attr is not None:
+                chased = (reexport.attr,) + chased
+                return self._lookup(reexport.module, chased, depth + 1)
+            if chased:
+                return self._lookup(reexport.module, chased, depth + 1)
+        return None
+
+
+@dataclass
+class ProgramAnalysis:
+    """The output of :func:`analyze_program`."""
+
+    summaries: Dict[str, ModuleSummary] = field(default_factory=dict)
+    #: per-module taint results for modules analyzed live this run;
+    #: cache-hit modules are absent (their summaries were loaded instead)
+    taints: Dict[str, ModuleTaint] = field(default_factory=dict)
+
+
+class _SummaryContext:
+    """The minimal ``ctx`` surface :func:`taint.analyze_module` needs."""
+
+    def __init__(
+        self,
+        path: str,
+        config: LintConfig,
+        secret_lines: FrozenSet[int],
+        imports: ImportEnv,
+    ) -> None:
+        self.path = path
+        self.config = config
+        self.secret_lines = secret_lines
+        self.imports = imports
+        self.cache: Dict[str, object] = {}
+
+
+def _summarize(node: ModuleNode, module_taint: ModuleTaint) -> ModuleSummary:
+    functions, classes = taint.module_summaries(module_taint)
+    return ModuleSummary(
+        functions=functions, classes=classes, reexports=dict(node.bindings)
+    )
+
+
+def analyze_program(
+    program: Program,
+    config: LintConfig,
+    secret_lines: Dict[str, FrozenSet[int]],
+    preloaded: Optional[Dict[str, ModuleSummary]] = None,
+) -> ProgramAnalysis:
+    """Compute every module's summary in dependency-first order.
+
+    ``secret_lines`` maps module names to their ``# smatch-lint: secret``
+    annotation lines.  ``preloaded`` supplies cache-restored summaries for
+    modules that need no re-analysis (the caller decides validity); those
+    modules are skipped entirely and contribute their stored summaries.
+    """
+    result = ProgramAnalysis()
+    if preloaded:
+        result.summaries.update(preloaded)
+
+    def analyze(node: ModuleNode) -> ModuleTaint:
+        env = ImportEnv(node, program, result.summaries)
+        ctx = _SummaryContext(
+            path=node.display_path,
+            config=config,
+            secret_lines=secret_lines.get(node.name, frozenset()),
+            imports=env,
+        )
+        return taint.analyze_module(node.tree, ctx)
+
+    for scc in program.sccs_topological():
+        members = [
+            name
+            for name in scc
+            if name in program.modules and name not in result.summaries
+        ]
+        if not members:
+            continue
+        if len(members) == 1 and members[0] not in program.modules[members[0]].deps:
+            # acyclic module: every dependency summary is already final
+            node = program.modules[members[0]]
+            module_taint = analyze(node)
+            result.taints[node.name] = module_taint
+            result.summaries[node.name] = _summarize(node, module_taint)
+            continue
+        # cyclic SCC: iterate until the member summaries stop changing
+        for name in members:
+            result.summaries[name] = ModuleSummary(
+                reexports=dict(program.modules[name].bindings)
+            )
+        for _round in range(_MAX_SCC_ROUNDS):
+            changed = False
+            for name in members:
+                node = program.modules[name]
+                module_taint = analyze(node)
+                summary = _summarize(node, module_taint)
+                if summary != result.summaries.get(name):
+                    changed = True
+                result.taints[name] = module_taint
+                result.summaries[name] = summary
+            if not changed:
+                break
+        else:
+            # one final pass so every member saw the last round's summaries
+            for name in members:
+                node = program.modules[name]
+                module_taint = analyze(node)
+                result.taints[name] = module_taint
+                result.summaries[name] = _summarize(node, module_taint)
+    return result
+
+
+def parse_tree(source: str, path: str) -> Optional[ast.Module]:
+    """Parse helper shared by the engine (``None`` on syntax errors)."""
+    try:
+        return ast.parse(source, filename=path)
+    except SyntaxError:
+        return None

@@ -29,14 +29,29 @@ Model
   clean re-assignment on every path kills it.  Calls to functions defined
   in the same module use **summaries** (which parameters flow into the
   return value), computed to fixpoint, so multi-hop flows through local
-  helpers are tracked; unknown calls conservatively propagate the union
+  helpers are tracked.  When the analysis runs in whole-program mode the
+  context carries an import resolver (``ctx.imports``, built by
+  :mod:`tools.smatch_lint.summaries`): calls to imported functions —
+  through ``from x import y`` aliases, re-export chains, dotted module
+  access, and methods on instances of imported classes — consume the
+  callee's :class:`FunctionSummary` instead of being treated as unknown.
+  Only genuinely unresolvable calls conservatively propagate the union
   of their argument and receiver taints.
 
 * **Sinks** — recorded as :class:`TaintEvent` entries and mapped to rules
   by context: branch/loop/exception control flow (SML007), serialization
-  and transport calls plus wire-message constructors (SML008), and
+  and transport calls plus wire-message constructors (SML008),
   size-producing expressions — ``bytes(n)``, ``range(n)``, sequence
-  repetition, ``int.to_bytes`` widths (SML009).
+  repetition, ``int.to_bytes`` widths (SML009) — and process-boundary
+  serialization (``pickle.dumps``, task-envelope constructors, pool
+  ``initargs``) for SML010.
+
+* **Masked values** — a taint may carry ``wire_ok``: the value is still
+  secret-derived (so it must not steer timing or sizes) but is blinded or
+  sealed in a form the §IV adversary already observes, so it may cross
+  the wire and process boundaries.  The OPRF ``evaluate_blinded`` output
+  is the canonical case: x^d mod N on a value still masked by the
+  client's blinding factor.
 """
 
 from __future__ import annotations
@@ -51,6 +66,7 @@ __all__ = [
     "Taint",
     "TaintEvent",
     "FunctionSummary",
+    "ClassSummary",
     "FunctionTaint",
     "ModuleTaint",
     "analyze_module",
@@ -77,6 +93,9 @@ class Taint:
     source: str
     kind: str
     via: Tuple[str, ...] = ()
+    #: the value is secret-derived but blinded/sealed: it may cross wire
+    #: and process boundaries, though it must not steer timing or sizes
+    wire_ok: bool = False
 
     def hop(self, name: str) -> "Taint":
         """The same taint, one propagation hop later.
@@ -88,7 +107,7 @@ class Taint:
         """
         if name == self.source or name in self.via or len(self.via) >= 4:
             return self
-        return Taint(self.source, self.kind, self.via + (name,))
+        return Taint(self.source, self.kind, self.via + (name,), self.wire_ok)
 
     def describe(self) -> str:
         """Human-readable provenance for rule messages."""
@@ -133,6 +152,9 @@ class FunctionSummary:
     flows: FrozenSet[str]
     #: True when the return value is tainted independent of the arguments
     returns_secret: bool
+    #: True when every secret the function returns is blinded/sealed —
+    #: callers inherit a ``wire_ok`` taint instead of a bare secret one
+    returns_wire_ok: bool = False
 
     def merge(self, other: "FunctionSummary") -> "FunctionSummary":
         """Conservative union of two summaries sharing a name."""
@@ -140,7 +162,49 @@ class FunctionSummary:
             params=self.params,
             flows=self.flows | other.flows,
             returns_secret=self.returns_secret or other.returns_secret,
+            # a value is only boundary-safe if *every* overload seals it
+            returns_wire_ok=self.returns_wire_ok and other.returns_wire_ok,
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for the on-disk summary cache."""
+        return {
+            "params": list(self.params),
+            "flows": sorted(self.flows),
+            "returns_secret": self.returns_secret,
+            "returns_wire_ok": self.returns_wire_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FunctionSummary":
+        return cls(
+            params=tuple(data["params"]),  # type: ignore[arg-type]
+            flows=frozenset(data["flows"]),  # type: ignore[arg-type]
+            returns_secret=bool(data["returns_secret"]),
+            returns_wire_ok=bool(data.get("returns_wire_ok", False)),
+        )
+
+
+@dataclass
+class ClassSummary:
+    """Summaries for every method of one class (for imported-class calls)."""
+
+    name: str
+    methods: Dict[str, FunctionSummary] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "methods": {m: s.as_dict() for m, s in sorted(self.methods.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClassSummary":
+        methods = {
+            m: FunctionSummary.from_dict(s)
+            for m, s in data["methods"].items()  # type: ignore[union-attr]
+        }
+        return cls(name=str(data["name"]), methods=methods)
 
 
 @dataclass
@@ -191,6 +255,18 @@ def _at(node: ast.AST) -> Tuple[int, int]:
     return getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1
 
 
+def _name_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
 class _FunctionAnalysis:
     """Fixpoint taint analysis of a single function body."""
 
@@ -200,6 +276,7 @@ class _FunctionAnalysis:
         qualname: str,
         ctx: "object",
         summaries: Dict[str, FunctionSummary],
+        classes: Optional[Dict[str, ClassSummary]] = None,
     ) -> None:
         self.func = func
         self.qualname = qualname
@@ -207,9 +284,48 @@ class _FunctionAnalysis:
         self.config = ctx.config  # type: ignore[attr-defined]
         self.secret_lines: FrozenSet[int] = getattr(ctx, "secret_lines", frozenset())
         self.summaries = summaries
+        self.classes = classes or {}
+        #: cross-module resolver (duck-typed; ``None`` in per-module mode)
+        self.imports = getattr(ctx, "imports", None)
         self.events: List[TaintEvent] = []
         self.return_taints: TaintSet = _EMPTY
         self._collecting = False
+        self._instance_types = self._infer_instance_types()
+
+    def _infer_instance_types(self) -> Dict[str, ClassSummary]:
+        """Flow-insensitive map of local names to known class instances.
+
+        ``obj = ImportedClass(...)`` records ``obj``'s class so a later
+        ``obj.method(x)`` can consume the method's summary.  One pre-pass
+        over the whole body is enough: re-binding a name to a different
+        class is vanishingly rare in this tree and only costs precision.
+        """
+        found: Dict[str, ClassSummary] = {}
+        for node in ast.walk(self.func):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            cls = self._resolve_class(node.value.func)
+            if cls is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    found[target.id] = cls
+        return found
+
+    def _resolve_class(self, func: ast.expr) -> Optional[ClassSummary]:
+        """The :class:`ClassSummary` a constructor expression names, if any."""
+        chain = _name_chain(func)
+        if not chain:
+            return None
+        if len(chain) == 1:
+            local = self.classes.get(chain[0])
+            if local is not None:
+                return local
+        if self.imports is not None:
+            resolved = self.imports.resolve(chain)
+            if isinstance(resolved, ClassSummary):
+                return resolved
+        return None
 
     # -- entry ------------------------------------------------------------------
 
@@ -246,10 +362,13 @@ class _FunctionAnalysis:
         flows = frozenset(
             t.source for t in self.return_taints if t.kind == _FORMAL
         )
+        real_returns = _real(self.return_taints)
         summary = FunctionSummary(
             params=params,
             flows=flows & frozenset(params),
-            returns_secret=bool(_real(self.return_taints)),
+            returns_secret=bool(real_returns),
+            returns_wire_ok=bool(real_returns)
+            and all(t.wire_ok for t in real_returns),
         )
         return FunctionTaint(
             qualname=self.qualname,
@@ -489,12 +608,15 @@ class _FunctionAnalysis:
                 self._emit(
                     node.args[0], "size", arg_taints[0], "to_bytes() width"
                 )
+            self._boundary_events(node, fname, arg_exprs, arg_taints)
 
         if fname is not None:
             if config.is_taint_sanitizer(fname):
                 return _EMPTY
             if config.is_taint_source_call(fname, is_method=is_method):
-                return frozenset({Taint(fname, "call")})
+                return frozenset(
+                    {Taint(fname, "call", wire_ok=config.is_wire_masked(fname))}
+                )
             # summaries are keyed by bare name, so only apply one when the
             # call plausibly targets the same-module definition: a bare
             # ``helper(...)`` or a ``self.method(...)`` — not a method on
@@ -509,11 +631,73 @@ class _FunctionAnalysis:
                     return self._apply_summary(
                         summary, fname, node, arg_exprs, arg_taints
                     )
+            # whole-program mode: resolve through the import graph —
+            # aliases, re-exports, dotted module access, and methods on
+            # instances of known classes
+            resolved = self._resolve_call(func, fname, is_method)
+            if isinstance(resolved, FunctionSummary):
+                return self._apply_summary(
+                    resolved, fname, node, arg_exprs, arg_taints
+                )
+            if isinstance(resolved, ClassSummary):
+                # constructing a known class: the instance conservatively
+                # carries every argument's taint (its attributes hold them)
+                out = _EMPTY
+                for taints in arg_taints:
+                    out |= taints
+                return out
         # unknown call: conservatively union receiver and argument taints
         out = recv_taints
         for taints in arg_taints:
             out |= taints
         return out
+
+    def _resolve_call(
+        self, func: ast.expr, fname: str, is_method: bool
+    ) -> Optional[Union[FunctionSummary, ClassSummary]]:
+        """What an unmatched call targets, via imports or instance types."""
+        if self.imports is None and not self._instance_types:
+            return None
+        chain = _name_chain(func)
+        if not chain:
+            return None
+        if (
+            is_method
+            and len(chain) == 2
+            and chain[0] in self._instance_types
+        ):
+            method = self._instance_types[chain[0]].methods.get(fname)
+            if method is not None:
+                return method
+        if self.imports is not None:
+            resolved = self.imports.resolve(chain)
+            if isinstance(resolved, (FunctionSummary, ClassSummary)):
+                return resolved
+        return None
+
+    def _boundary_events(
+        self,
+        node: ast.Call,
+        fname: str,
+        arg_exprs: Sequence[ast.expr],
+        arg_taints: Sequence[TaintSet],
+    ) -> None:
+        """Record SML010 events: tainted values crossing a process boundary."""
+        config = self.config
+        if config.is_boundary_sink(fname):
+            for arg, taints in zip(arg_exprs, arg_taints):
+                self._emit(arg, "process-boundary", taints, fname)
+            return
+        # pool constructors are not sinks themselves, but their
+        # ``initargs=`` tuple is pickled into every worker process
+        for keyword, taints in zip(node.keywords, arg_taints[len(node.args):]):
+            if keyword.arg is not None and config.is_boundary_kwarg(keyword.arg):
+                self._emit(
+                    keyword.value,
+                    "process-boundary",
+                    taints,
+                    f"{fname}({keyword.arg}=...)",
+                )
 
     def _apply_summary(
         self,
@@ -525,7 +709,9 @@ class _FunctionAnalysis:
     ) -> TaintSet:
         out: TaintSet = _EMPTY
         if summary.returns_secret:
-            out |= frozenset({Taint(fname, "call")})
+            out |= frozenset(
+                {Taint(fname, "call", wire_ok=summary.returns_wire_ok)}
+            )
         # positional args map onto the summary's parameter list; a bound
         # method call is matched against the params after an initial self
         params = list(summary.params)
@@ -603,12 +789,13 @@ def analyze_module(tree: ast.AST, ctx: "object") -> ModuleTaint:
         return cached
     functions = _collect_functions(tree)
     summaries: Dict[str, FunctionSummary] = {}
+    classes: Dict[str, ClassSummary] = {}
     results: List[FunctionTaint] = []
     for _round in range(_MAX_SUMMARY_ROUNDS):
         results = []
         next_summaries: Dict[str, FunctionSummary] = {}
         for qualname, func in functions:
-            analysis = _FunctionAnalysis(func, qualname, ctx, summaries)
+            analysis = _FunctionAnalysis(func, qualname, ctx, summaries, classes)
             result = analysis.run()
             results.append(result)
             name = func.name
@@ -616,10 +803,52 @@ def analyze_module(tree: ast.AST, ctx: "object") -> ModuleTaint:
                 next_summaries[name] = next_summaries[name].merge(result.summary)
             else:
                 next_summaries[name] = result.summary
-        if next_summaries == summaries:
+        next_classes = class_summaries(results)
+        if next_summaries == summaries and next_classes == classes:
             break
         summaries = next_summaries
+        classes = next_classes
     module = ModuleTaint(functions=results)
     if cache is not None:
         cache["taint"] = module
     return module
+
+
+def class_summaries(functions: Sequence[FunctionTaint]) -> Dict[str, ClassSummary]:
+    """Group method summaries by their defining top-level class.
+
+    Qualnames are dotted (``Cls.method``); nested functions carry a
+    ``<locals>`` marker and are skipped — they are not callable from
+    outside and would only pollute the class namespace.
+    """
+    classes: Dict[str, ClassSummary] = {}
+    for fn in functions:
+        if "<locals>" in fn.qualname:
+            continue
+        parts = fn.qualname.split(".")
+        if len(parts) != 2:
+            continue
+        cls_name, method = parts
+        entry = classes.setdefault(cls_name, ClassSummary(name=cls_name))
+        if method in entry.methods:
+            entry.methods[method] = entry.methods[method].merge(
+                fn.summary
+            )
+        else:
+            entry.methods[method] = fn.summary
+    return classes
+
+
+def module_summaries(
+    module: ModuleTaint,
+) -> Tuple[Dict[str, FunctionSummary], Dict[str, ClassSummary]]:
+    """Top-level function and class summaries of one analyzed module."""
+    functions: Dict[str, FunctionSummary] = {}
+    for fn in module.functions:
+        if "." in fn.qualname:
+            continue
+        if fn.qualname in functions:
+            functions[fn.qualname] = functions[fn.qualname].merge(fn.summary)
+        else:
+            functions[fn.qualname] = fn.summary
+    return functions, class_summaries(module.functions)

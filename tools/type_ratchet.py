@@ -116,7 +116,9 @@ def strict_patterns(pyproject: Path = PYPROJECT_PATH) -> List[str]:
     text = pyproject.read_text(encoding="utf-8")
     try:
         import tomllib
-
+    except ModuleNotFoundError:
+        tomllib = None  # py<3.11: fall through to the regex fallback
+    if tomllib is not None:
         data = tomllib.loads(text)
         patterns: List[str] = []
         for override in data.get("tool", {}).get("mypy", {}).get("overrides", []):
@@ -126,8 +128,6 @@ def strict_patterns(pyproject: Path = PYPROJECT_PATH) -> List[str]:
                     module = [module]
                 patterns.extend(module)
         return patterns
-    except ModuleNotFoundError:
-        pass
     patterns = []
     for block in re.split(r"\[\[tool\.mypy\.overrides\]\]", text)[1:]:
         block = block.split("[", 1)[0]  # stop at the next table header
