@@ -339,3 +339,56 @@ def test_emit_bench_artifact(world, ope_worlds, metrics_registry, results_dir):
     assert parsed["speedups"]["ope_cache_encrypt"] >= 2.0
     assert parsed["speedups"]["incremental_churn_query"] >= 2.0
     assert parsed["metrics"]["counters"]["smatch_server_uploads_total"] >= len(users)
+
+
+def test_emit_trace_artifact(world, results_dir):
+    """Record one traced bench round and write benchmarks/results/trace.jsonl.
+
+    The trace is the attribution artifact for the perf gate: when a floor
+    in ``tools/check_perf_trend.py`` fails, CI diffs this file against the
+    committed ``benchmarks/baselines/trace.baseline.jsonl`` (same seeded
+    workload, so the span-path forests align) and names the most-regressed
+    subtree.  Refresh policy: regenerate the baseline by copying this
+    file over it in the same PR as any deliberate pipeline-shape or
+    performance change — never to paper over an unexplained regression.
+    """
+    from repro.obs.analysis import (
+        build_forest,
+        folded_stacks,
+        parse_folded,
+        render_folded,
+    )
+    from repro.obs.trace import span, tracing
+
+    pop, users, scheme, uploads, keys, server = world
+    profiles = [u.profile for u in users[:8]]
+    with tracing("bench.throughput", suite="throughput") as tracer:
+        with span("bench.enroll", population=len(profiles)):
+            fresh_uploads, fresh_keys = scheme.enroll_population(
+                profiles, backend="serial", seed=77
+            )
+        with span("bench.upload"):
+            bench_server = SMatchServer(query_k=5)
+            for payload in fresh_uploads.values():
+                bench_server.handle_upload(UploadMessage(payload=payload))
+        uid = profiles[0].user_id
+        with span("bench.query"):
+            result = bench_server.handle_query(
+                QueryRequest(query_id=21, timestamp=0, user_id=uid)
+            )
+        with span("bench.verify"):
+            for entry in result.entries:
+                scheme.verify(entry.auth, fresh_keys[uid])
+    text = tracer.to_jsonl()
+    (results_dir / "trace.jsonl").write_text(text, encoding="utf-8")
+
+    records = [json.loads(line) for line in text.splitlines()]
+    names = {record["name"] for record in records}
+    assert {"bench.throughput", "bench.enroll", "bench.upload", "bench.query"} <= names
+    assert "scheme.enroll" in names  # the pipeline spans nest under the bench phases
+    # conservation law the analysis layer guarantees: folded self-times
+    # re-aggregate to exactly the root duration, integer microseconds
+    roots = build_forest(records)
+    assert len(roots) == 1
+    folded = parse_folded(render_folded(folded_stacks(records)))
+    assert sum(folded.values()) == roots[0].record["duration_us"]

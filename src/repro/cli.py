@@ -8,7 +8,12 @@ Gives the reproduction a front door:
 * ``simulate`` — run the mobile-service lifecycle simulation;
 * ``attack <name>`` — run one of the Section-IV attack demonstrations;
 * ``obs report`` — render the trace/metrics artifacts of the last
-  ``--obs`` run (see docs/OBSERVABILITY.md).
+  ``--obs`` run (see docs/OBSERVABILITY.md);
+* ``obs flame|top|critical-path`` — span analytics over a recorded
+  ``trace.jsonl``: a dependency-free flamegraph (HTML or folded stacks),
+  a per-span-name self-time table, the wall-clock-bounding chain;
+* ``obs diff BASELINE CURRENT`` — align two traces by span path and name
+  the most-regressed subtree (machine-readable via ``--json-out``).
 
 ``simulate`` and ``experiment`` accept ``--obs`` (and ``--obs-dir DIR``) to
 record a structured trace and metrics snapshot of the run, and
@@ -104,13 +109,83 @@ def build_parser() -> argparse.ArgumentParser:
     rep = obs_sub.add_parser(
         "report", help="render the recorded trace tree and metrics"
     )
-    rep.add_argument(
+    _add_trace_source(rep, positional=False)
+
+    flame = obs_sub.add_parser(
+        "flame",
+        help="export the recorded trace as a flamegraph "
+        "(folded stacks or self-contained HTML)",
+    )
+    _add_trace_source(flame)
+    flame.add_argument(
+        "--format",
+        default="html",
+        choices=["html", "folded"],
+        help="html: self-contained interactive page; "
+        "folded: flamegraph.pl 'path;to;span <self_us>' lines",
+    )
+    flame.add_argument(
+        "--out",
+        default=None,
+        help="output file (default: stdout)",
+    )
+    flame.add_argument(
+        "--title", default="S-MATCH trace", help="HTML page title"
+    )
+
+    top = obs_sub.add_parser(
+        "top",
+        help="per-span-name self-time / call / op / byte table",
+    )
+    _add_trace_source(top)
+    top.add_argument(
+        "--limit", type=int, default=20, help="rows to show (default 20)"
+    )
+
+    crit = obs_sub.add_parser(
+        "critical-path",
+        help="the widest-child chain bounding the run's wall clock",
+    )
+    _add_trace_source(crit)
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="align two traces by span path and attribute the regression",
+    )
+    diff.add_argument("baseline", help="baseline trace.jsonl")
+    diff.add_argument("current", help="current trace.jsonl")
+    diff.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the machine-readable smatch-trace-diff/1 report here",
+    )
+    diff.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="changed paths to show in the text table (default 10)",
+    )
+
+    return parser
+
+
+def _add_trace_source(
+    parser: argparse.ArgumentParser, positional: bool = True
+) -> None:
+    """`[trace] [--dir DIR]` — an explicit trace file wins over the artifact
+    directory (default: $SMATCH_OBS_DIR or .smatch-obs)."""
+    if positional:
+        parser.add_argument(
+            "trace",
+            nargs="?",
+            default=None,
+            help="trace.jsonl file (default: the artifact directory's)",
+        )
+    parser.add_argument(
         "--dir",
         default=None,
         help="artifact directory (default: $SMATCH_OBS_DIR or .smatch-obs)",
     )
-
-    return parser
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -212,11 +287,84 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_obs(args) -> int:
-    from repro.obs.report import render_report
+def _load_trace_arg(args: argparse.Namespace) -> "List[dict]":
+    """Span records from the positional trace file or the artifact dir."""
+    import json as _json
 
-    print(render_report(args.dir))
-    return 0
+    from repro.obs.report import load_trace_records
+
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        import pathlib
+
+        records = []
+        for line in pathlib.Path(trace).read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                records.append(_json.loads(line))
+        return records
+    return load_trace_records(args.dir)
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "report":
+        from repro.obs.report import render_report
+
+        print(render_report(args.dir))
+        return 0
+    if args.obs_command == "flame":
+        from repro.obs.analysis import (
+            flamegraph_html,
+            folded_stacks,
+            render_folded,
+        )
+
+        records = _load_trace_arg(args)
+        if args.format == "folded":
+            output = render_folded(folded_stacks(records))
+        else:
+            output = flamegraph_html(records, title=args.title)
+        if args.out:
+            import pathlib
+
+            pathlib.Path(args.out).write_text(output, encoding="utf-8")
+            print(f"wrote {args.out}")
+        else:
+            print(output, end="")
+        return 0
+    if args.obs_command == "top":
+        from repro.obs.analysis import render_top, top_table
+
+        print(render_top(top_table(_load_trace_arg(args)), limit=args.limit))
+        return 0
+    if args.obs_command == "critical-path":
+        from repro.obs.analysis import critical_path, render_critical_path
+
+        print(render_critical_path(critical_path(_load_trace_arg(args))))
+        return 0
+    if args.obs_command == "diff":
+        import json as _json
+        import pathlib
+
+        from repro.obs.analysis import diff_traces, render_diff
+
+        def read(path: str) -> "List[dict]":
+            return [
+                _json.loads(line)
+                for line in pathlib.Path(path)
+                .read_text(encoding="utf-8")
+                .splitlines()
+                if line.strip()
+            ]
+
+        report = diff_traces(read(args.baseline), read(args.current))
+        if args.json_out:
+            pathlib.Path(args.json_out).write_text(
+                _json.dumps(report, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        print(render_diff(report, limit=args.limit))
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_attack(args) -> int:

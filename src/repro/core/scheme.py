@@ -34,7 +34,11 @@ from repro.errors import ParameterError
 from repro.ntheory.groups import SchnorrGroup
 from repro.rs.fuzzy import FuzzyParams
 from repro.obs.instrument import count_op
-from repro.obs.metrics import metric_inc
+from repro.obs.metrics import (
+    M_ENROLL_BATCH_CHUNKS,
+    M_ENROLL_BATCH_PROFILES,
+    metric_inc,
+)
 from repro.obs.trace import span
 from repro.utils.rand import SystemRandomSource
 
@@ -383,7 +387,7 @@ class SMatch:
         profiles = list(profiles)
         uploads: Dict[int, EncryptedProfile] = {}
         keys: Dict[int, ProfileKey] = {}
-        metric_inc("smatch_enroll_batch_profiles_total", len(profiles))
+        metric_inc(M_ENROLL_BATCH_PROFILES, len(profiles))
 
         exec_backend = (
             resolve_backend(backend) if backend is not None else default_backend()
@@ -411,8 +415,10 @@ class SMatch:
                 len(profiles), exec_backend.workers
             )
         chunks = partition_chunks(list(zip(profiles, seeds)), chunk_size)
-        if exec_backend.workers > 1:
-            metric_inc("smatch_enroll_batch_chunks_total", len(chunks))
+        # counted for every backend: chunk fan-out is a property of the
+        # batch, not of the substrate, and telemetry must be
+        # backend-invariant (the cross-backend equivalence tests pin this)
+        metric_inc(M_ENROLL_BATCH_CHUNKS, len(chunks))
         if self._enroll_spec is None:
             self._enroll_spec = EnrollSpec.of(self)
         envelope = TaskEnvelope(

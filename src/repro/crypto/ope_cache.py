@@ -37,7 +37,14 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.errors import ParameterError
-from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.metrics import (
+    M_OPE_CACHE_ENTRIES,
+    M_OPE_CACHE_EVICTIONS,
+    M_OPE_CACHE_HITS,
+    M_OPE_CACHE_MISSES,
+    metric_inc,
+    metric_set,
+)
 
 __all__ = ["OpeNodeCache", "DEFAULT_CACHE_CAPACITY"]
 
@@ -119,13 +126,13 @@ class OpeNodeCache:
             self._flush_locked()
 
     def _flush_locked(self) -> None:
-        metric_inc("smatch_ope_cache_hits_total", self.hits - self._flushed_hits)
-        metric_inc("smatch_ope_cache_misses_total", self.misses - self._flushed_misses)
+        metric_inc(M_OPE_CACHE_HITS, self.hits - self._flushed_hits)
+        metric_inc(M_OPE_CACHE_MISSES, self.misses - self._flushed_misses)
         metric_inc(
-            "smatch_ope_cache_evictions_total",
+            M_OPE_CACHE_EVICTIONS,
             self.evictions - self._flushed_evictions,
         )
-        metric_set("smatch_ope_cache_entries", len(self._entries))
+        metric_set(M_OPE_CACHE_ENTRIES, len(self._entries))
         self._flushed_hits = self.hits
         self._flushed_misses = self.misses
         self._flushed_evictions = self.evictions

@@ -17,7 +17,13 @@ from repro.crypto.modes import AeadCiphertext, EtMCipher
 from repro.errors import ProtocolError
 from repro.net.messages import Message, decode_message
 from repro.net.transport import Endpoint
-from repro.obs.metrics import metric_inc, metric_observe
+from repro.obs.metrics import (
+    M_CHANNEL_MESSAGES,
+    M_CHANNEL_RECEIVED_BYTES,
+    M_CHANNEL_SENT_BYTES,
+    metric_inc,
+    metric_observe,
+)
 from repro.obs.trace import record_bytes
 from repro.utils.rand import SystemRandomSource
 
@@ -57,8 +63,8 @@ class SecureChannel:
         datagram = sealed.encode()
         self._endpoint.send(self._peer, datagram)
         self.bytes_sent += len(datagram)
-        metric_inc("smatch_channel_messages_total")
-        metric_observe("smatch_channel_sent_bytes", len(datagram))
+        metric_inc(M_CHANNEL_MESSAGES)
+        metric_observe(M_CHANNEL_SENT_BYTES, len(datagram))
         return len(datagram)
 
     def recv(self) -> Message:
@@ -74,7 +80,7 @@ class SecureChannel:
         )
         self._recv_seq += 1
         self.bytes_received += len(datagram)
-        metric_observe("smatch_channel_received_bytes", len(datagram))
+        metric_observe(M_CHANNEL_RECEIVED_BYTES, len(datagram))
         record_bytes("received", len(datagram))
         return decode_message(plaintext)
 

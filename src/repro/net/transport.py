@@ -13,7 +13,12 @@ from collections import deque
 from typing import Deque, Dict, Tuple
 
 from repro.errors import TransportError
-from repro.obs.metrics import metric_inc, metric_observe
+from repro.obs.metrics import (
+    M_NET_MESSAGES,
+    M_NET_MESSAGE_BYTES,
+    metric_inc,
+    metric_observe,
+)
 from repro.obs.trace import record_bytes
 
 __all__ = ["InMemoryNetwork", "Endpoint"]
@@ -40,8 +45,8 @@ class InMemoryNetwork:
             raise TransportError(f"no endpoint named {dest!r}")
         self.bytes_sent += len(datagram)
         self.messages_sent += 1
-        metric_inc("smatch_net_messages_total")
-        metric_observe("smatch_net_message_bytes", len(datagram))
+        metric_inc(M_NET_MESSAGES)
+        metric_observe(M_NET_MESSAGE_BYTES, len(datagram))
         record_bytes("sent", len(datagram))
         queue.append((source, datagram))
 

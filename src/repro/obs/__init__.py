@@ -9,6 +9,10 @@ Three pillars (see docs/OBSERVABILITY.md):
 * **privacy-safe logging** (:mod:`repro.obs.logs`) — ``get_logger`` with a
   redactor that refuses secret material (the SML002/SML006 heuristics).
 
+Plus the offline layer: :mod:`repro.obs.analysis` turns a recorded
+``trace.jsonl`` into flamegraphs, self-time tables, critical paths, and
+path-aligned trace diffs (``repro obs flame|top|critical-path|diff``).
+
 Everything is off by default and each instrumented call site is a no-op
 guard (same discipline as :func:`count_op`).  Turn the whole subsystem on
 with :func:`enable` (or ``SMATCH_OBS=1`` / the CLI ``--obs`` flag); the
@@ -27,6 +31,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
+from repro.obs.analysis import (
+    build_forest,
+    critical_path,
+    diff_traces,
+    flamegraph_html,
+    folded_stacks,
+    top_table,
+)
 from repro.obs.instrument import (
     OpCounter,
     Stopwatch,
@@ -94,6 +106,13 @@ __all__ = [
     "KeyValueFormatter",
     "get_logger",
     "configure_logging",
+    # analysis
+    "build_forest",
+    "folded_stacks",
+    "flamegraph_html",
+    "top_table",
+    "critical_path",
+    "diff_traces",
     # lifecycle
     "enable",
     "disable",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParameterError
 
@@ -34,6 +34,8 @@ __all__ = [
     "MetricsRegistry",
     "BYTE_BUCKETS",
     "DURATION_US_BUCKETS",
+    "METRICS",
+    "metric_names",
     "enable_metrics",
     "disable_metrics",
     "active_metrics",
@@ -44,6 +46,122 @@ __all__ = [
 
 #: Default histogram buckets for message sizes (bytes).
 BYTE_BUCKETS: Tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536, 262144)
+
+# -- the metric-name registry ---------------------------------------------------
+#
+# The single source of truth for every metric name the instrumented tree
+# may emit.  Emitting modules import the ``M_*`` constants below instead of
+# repeating string literals, and ``tools/check_obs_artifacts.py`` validates
+# both recorded snapshots and emit *sites* against this table — an unknown
+# name is almost always a typo that would silently split a time series.
+
+#: name -> one-line description, populated by :func:`_metric` at import.
+METRICS: Dict[str, str] = {}
+
+
+def _metric(name: str, description: str) -> str:
+    """Register ``name`` in the catalog and return it (constant helper)."""
+    METRICS[name] = description
+    return name
+
+
+# server front door (repro.server.service)
+M_SERVER_UPLOADS = _metric(
+    "smatch_server_uploads_total", "ciphertext uploads stored"
+)
+M_SERVER_QUERIES = _metric(
+    "smatch_server_queries_total", "match queries served"
+)
+M_SERVER_RESULTS = _metric(
+    "smatch_server_results_total", "result entries returned"
+)
+M_SERVER_HANDLER_LATENCY_US = _metric(
+    "smatch_server_handler_latency_us", "upload/query handler latency"
+)
+# matcher (repro.server.matcher)
+M_MATCHER_GROUPS_INDEXED = _metric(
+    "smatch_matcher_groups_indexed", "key groups with a live index"
+)
+M_MATCHER_GROUP_GENERATION = _metric(
+    "smatch_matcher_group_generation", "monotone index-rebuild generation"
+)
+M_MATCHER_BULK_QUERIES = _metric(
+    "smatch_matcher_bulk_queries_total", "users served via query_bulk"
+)
+# OPRF key service (repro.server.keyservice)
+M_KEYSERVICE_EVALUATIONS = _metric(
+    "smatch_keyservice_evaluations_total", "OPRF blind evaluations"
+)
+M_KEYSERVICE_BATCHED_EVALUATIONS = _metric(
+    "smatch_keyservice_batched_evaluations_total",
+    "blind evaluations served through the batched round",
+)
+M_KEYSERVICE_BATCHES = _metric(
+    "smatch_keyservice_batches_total", "batched OPRF rounds served"
+)
+M_KEYSERVICE_REJECTIONS = _metric(
+    "smatch_keyservice_rejections_total", "rate-limit rejections"
+)
+# wire layer (repro.net)
+M_NET_MESSAGES = _metric(
+    "smatch_net_messages_total", "datagrams sent on the transport"
+)
+M_NET_MESSAGE_BYTES = _metric("smatch_net_message_bytes", "datagram sizes")
+M_CHANNEL_MESSAGES = _metric(
+    "smatch_channel_messages_total", "secure-channel sends"
+)
+M_CHANNEL_SENT_BYTES = _metric(
+    "smatch_channel_sent_bytes", "plaintext-to-wire sizes sent"
+)
+M_CHANNEL_RECEIVED_BYTES = _metric(
+    "smatch_channel_received_bytes", "wire sizes received"
+)
+# OPE node cache (repro.crypto.ope_cache)
+M_OPE_CACHE_HITS = _metric(
+    "smatch_ope_cache_hits_total", "OPE node-cache hits"
+)
+M_OPE_CACHE_MISSES = _metric(
+    "smatch_ope_cache_misses_total", "OPE node-cache misses"
+)
+M_OPE_CACHE_EVICTIONS = _metric(
+    "smatch_ope_cache_evictions_total", "OPE node-cache LRU evictions"
+)
+M_OPE_CACHE_ENTRIES = _metric(
+    "smatch_ope_cache_entries", "live OPE node-cache entries"
+)
+# batch enrollment (repro.core.scheme)
+M_ENROLL_BATCH_PROFILES = _metric(
+    "smatch_enroll_batch_profiles_total", "profiles enrolled in batches"
+)
+M_ENROLL_BATCH_CHUNKS = _metric(
+    "smatch_enroll_batch_chunks_total", "enrollment chunks fanned out"
+)
+# execution backends (repro.parallel.backend)
+M_PARALLEL_TASKS = _metric(
+    "smatch_parallel_tasks_total", "task items dispatched to backends"
+)
+M_PARALLEL_CHUNKS = _metric(
+    "smatch_parallel_chunks_total", "chunks dispatched to backends"
+)
+M_PARALLEL_WORKER_RESTARTS = _metric(
+    "smatch_parallel_worker_restarts_total", "pools discarded after a crash"
+)
+M_PARALLEL_QUEUE_DEPTH = _metric(
+    "smatch_parallel_queue_depth", "in-flight chunks on the pool"
+)
+# telemetry collection itself (repro.parallel.backend splicing); named under
+# smatch_obs_ on purpose: smatch_parallel_* totals measure the *work* and
+# must be backend-invariant, while this one counts the collection mechanism
+# (zero under SerialBackend, where spans nest natively)
+M_OBS_WORKER_SPANS = _metric(
+    "smatch_obs_worker_spans_total",
+    "worker-side spans spliced into the parent trace",
+)
+
+
+def metric_names() -> "frozenset[str]":
+    """Every registered metric name (the KNOWN_METRICS source of truth)."""
+    return frozenset(METRICS)
 
 #: Default histogram buckets for durations (microseconds).
 DURATION_US_BUCKETS: Tuple[int, ...] = (
@@ -98,7 +216,10 @@ class Histogram:
 
     def __init__(self, name: str, bounds: Sequence[int]) -> None:
         if not bounds or list(bounds) != sorted(set(bounds)):
-            raise ParameterError("histogram bounds must be sorted and unique")
+            raise ParameterError(
+                f"histogram {name!r} bounds must be sorted and unique, "
+                f"got {tuple(bounds)!r}"
+            )
         self.name = name
         self.bounds: Tuple[int, ...] = tuple(int(b) for b in bounds)
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)  # +Inf last
@@ -162,11 +283,24 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Sequence[int] = BYTE_BUCKETS
     ) -> Histogram:
-        """The histogram named ``name``, creating it with ``buckets``."""
+        """The histogram named ``name``, creating it with ``buckets``.
+
+        Re-registering an existing histogram under *different* bounds is a
+        call-site bug (the observation would land in buckets the reader
+        does not expect), surfaced here as a typed error naming the metric
+        instead of a confusing failure deep inside bucket accounting.
+        """
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
                 metric = self._histograms[name] = Histogram(name, buckets)
+            elif metric.bounds != tuple(int(b) for b in buckets):
+                raise ParameterError(
+                    f"histogram {name!r} is already registered with bounds "
+                    f"{metric.bounds!r}; cannot re-register it with "
+                    f"{tuple(buckets)!r} — every emit site of one metric "
+                    "must agree on its buckets"
+                )
             return metric
 
     # -- exports ---------------------------------------------------------------
@@ -186,6 +320,71 @@ class MetricsRegistry:
                     for n, h in sorted(self._histograms.items())
                 },
             }
+
+    def to_mergeable(self) -> Dict[str, Dict[str, object]]:
+        """A picklable, lossless view for cross-process aggregation.
+
+        Unlike :meth:`snapshot` (whose cumulative histogram buckets are a
+        render format), this keeps raw per-bucket counts and bounds so two
+        registries can be combined exactly — the shape worker processes
+        ship back for :meth:`merge`.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "bounds": list(h.bounds),
+                        "bucket_counts": list(h.bucket_counts),
+                        "sum": h.total,
+                        "count": h.count,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, mergeable: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`to_mergeable` view from another registry into this one.
+
+        The merge is associative and commutative, so fan-out telemetry is
+        deterministic in *content* no matter how many workers report or in
+        which order: counters and histogram buckets add; gauges — level
+        values like queue depth or cache size — keep the maximum observed
+        level.  A histogram arriving with different bounds than the local
+        registration is a typed error naming the metric.
+        """
+        with self._lock:
+            for name, value in mergeable.get("counters", {}).items():
+                local_counter = self._counters.get(name)
+                if local_counter is None:
+                    local_counter = self._counters[name] = Counter(name)
+                local_counter.inc(int(value))
+            for name, value in mergeable.get("gauges", {}).items():
+                local_gauge = self._gauges.get(name)
+                if local_gauge is None:
+                    local_gauge = self._gauges[name] = Gauge(name)
+                local_gauge.set(max(local_gauge.value, int(value)))
+            for name, view in mergeable.get("histograms", {}).items():
+                bounds = tuple(int(b) for b in view["bounds"])
+                local_hist = self._histograms.get(name)
+                if local_hist is None:
+                    local_hist = self._histograms[name] = Histogram(name, bounds)
+                elif local_hist.bounds != bounds:
+                    raise ParameterError(
+                        f"histogram {name!r} cannot merge: local bounds "
+                        f"{local_hist.bounds!r} != incoming {bounds!r}"
+                    )
+                incoming = [int(n) for n in view["bucket_counts"]]
+                if len(incoming) != len(local_hist.bucket_counts):
+                    raise ParameterError(
+                        f"histogram {name!r} cannot merge: bucket count "
+                        "mismatch"
+                    )
+                for i, n in enumerate(incoming):
+                    local_hist.bucket_counts[i] += n
+                local_hist.total += int(view["sum"])
+                local_hist.count += int(view["count"])
 
     def render_json(self) -> str:
         """The snapshot as pretty-printed JSON."""

@@ -80,13 +80,19 @@ def load_trace_records(directory: Optional[Union[str, Path]] = None) -> List[Dic
 
 
 def render_trace_report(records: List[Dict[str, Any]]) -> str:
-    """Rebuild the span tree from JSONL records and render it as text."""
+    """Rebuild the span tree from JSONL records and render it as text.
+
+    A record whose parent id does not resolve (a truncated file, a worker
+    trace sliced out of context) renders as an extra root — a report must
+    never silently drop spans.
+    """
+    ids = {record["id"] for record in records}
     children: Dict[int, List[Dict[str, Any]]] = {}
     roots: List[Dict[str, Any]] = []
     for record in records:
         children.setdefault(record["id"], [])
         parent = record.get("parent")
-        if parent is None:
+        if parent is None or parent not in ids:
             roots.append(record)
         else:
             children.setdefault(parent, []).append(record)

@@ -26,7 +26,7 @@ import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ParameterError
 from repro.obs.instrument import counting
@@ -36,6 +36,7 @@ __all__ = [
     "Tracer",
     "span",
     "tracing",
+    "clear_inherited_tracer",
     "current_tracer",
     "current_span",
     "record_bytes",
@@ -131,10 +132,17 @@ class Span:
         return False
 
     def walk(self) -> Iterator["Span"]:
-        """Depth-first iteration over this span and its descendants."""
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Depth-first iteration over this span and its descendants.
+
+        Iterative (explicit stack): traces from long chained pipelines can
+        nest thousands of spans deep, well past the interpreter recursion
+        limit a generator-per-level walk would hit.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
 
 
 class Tracer:
@@ -165,34 +173,104 @@ class Tracer:
 
     # -- exports ---------------------------------------------------------------
 
-    def to_jsonl(self) -> str:
-        """One JSON object per span, depth-first, linked by parent id.
+    def span_records(self) -> List[Dict[str, Any]]:
+        """Every span as a plain JSON-friendly record, depth-first.
 
-        Times are integer microseconds; ``start_us`` is relative to the
-        root span's start, so traces are comparable across runs.
+        The list form of :meth:`to_jsonl` — also the wire shape worker
+        telemetry ships across the process boundary (:meth:`splice` is the
+        inverse).  Times are integer microseconds; ``start_us`` is relative
+        to the root span's start, so traces are comparable across runs.
         """
-        lines = []
+        records: List[Dict[str, Any]] = []
         origin = self.root.start_ns
         parents: Dict[int, Optional[int]] = {self.root.span_id: None}
         for s in self.root.walk():
             for child in s.children:
                 parents[child.span_id] = s.span_id
-            lines.append(
-                json.dumps(
-                    {
-                        "id": s.span_id,
-                        "parent": parents[s.span_id],
-                        "name": s.name,
-                        "attrs": s.attrs,
-                        "start_us": (s.start_ns - origin) // 1000,
-                        "duration_us": s.duration_ns // 1000,
-                        "ops": s.ops,
-                        "bytes": dict(s.bytes_io),
-                    },
-                    sort_keys=True,
-                )
+            records.append(
+                {
+                    "id": s.span_id,
+                    "parent": parents[s.span_id],
+                    "name": s.name,
+                    "attrs": s.attrs,
+                    "start_us": (s.start_ns - origin) // 1000,
+                    "duration_us": s.duration_ns // 1000,
+                    "ops": s.ops,
+                    "bytes": dict(s.bytes_io),
+                }
             )
-        return "\n".join(lines) + "\n"
+        return records
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, depth-first, linked by parent id."""
+        return (
+            "\n".join(
+                json.dumps(record, sort_keys=True)
+                for record in self.span_records()
+            )
+            + "\n"
+        )
+
+    def splice(
+        self,
+        records: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> List[Span]:
+        """Graft foreign span records (a worker's trace) into this trace.
+
+        ``records`` is a depth-first list in the :meth:`span_records` shape,
+        produced by a worker-local tracer in a pool thread or process.  Each
+        record becomes a synthetic :class:`Span` with a fresh id in this
+        tracer's id space; records whose parent is absent from the batch
+        (the worker's root) attach under ``parent`` (default: the innermost
+        open span) with ``attrs`` merged in — the backend tags them with the
+        worker identity there.
+
+        Worker clocks are not comparable across processes, so spliced spans
+        are **rebased**: a grafted root starts at the parent span's start
+        plus its worker-relative ``start_us``.  The grafted roots' op counts
+        and byte tallies are folded into the open parent (workers fold
+        child work into their root on exit, so folding only the roots never
+        double-counts), keeping the self-plus-children reporting invariant
+        truthful across the fan-out boundary.
+
+        Returns the grafted root spans.
+        """
+        if parent is None:
+            parent = self._stack[-1] if self._stack else self.root
+        grafted: List[Span] = []
+        id_map: Dict[Any, Span] = {}
+        for record in records:
+            s = Span(self, str(record["name"]), dict(record.get("attrs") or {}))
+            s.duration_ns = int(record.get("duration_us", 0)) * 1000
+            s.ops = {
+                str(op): int(n) for op, n in (record.get("ops") or {}).items()
+            }
+            s.bytes_io = Counter(
+                {
+                    str(d): int(n)
+                    for d, n in (record.get("bytes") or {}).items()
+                }
+            )
+            s.start_ns = parent.start_ns + int(record.get("start_us", 0)) * 1000
+            local_parent = id_map.get(record.get("parent"))
+            if local_parent is None:
+                if attrs:
+                    s.attrs.update(attrs)
+                parent.children.append(s)
+                grafted.append(s)
+                parent.bytes_io.update(s.bytes_io)
+                if parent._counter is not None:
+                    for op, n in s.ops.items():
+                        parent._counter.add(op, n)
+                else:  # splicing after the parent closed: fold directly
+                    for op, n in s.ops.items():
+                        parent.ops[op] = parent.ops.get(op, 0) + n
+            else:
+                local_parent.children.append(s)
+            id_map[record.get("id")] = s
+        return grafted
 
     def render(self) -> str:
         """The trace as an indented text tree."""
@@ -253,10 +331,19 @@ def _format_span_line(record: Dict[str, Any]) -> str:
 def render_tree(
     roots: List[Dict[str, Any]], children: Dict[int, List[Dict[str, Any]]]
 ) -> str:
-    """Render span records (live or re-parsed from JSONL) as a text tree."""
-    lines: List[str] = []
+    """Render span records (live or re-parsed from JSONL) as a text tree.
 
-    def emit(record: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+    Iterative (explicit work stack), so a many-thousand-span trace — deep
+    *or* wide — renders in O(n) without touching the recursion limit.
+    """
+    lines: List[str] = []
+    # (record, child prefix, is_last, is_root); children are pushed in
+    # reverse so the stack pops them in display order
+    work: List[Tuple[Dict[str, Any], str, bool, bool]] = [
+        (root, "", True, True) for root in reversed(roots)
+    ]
+    while work:
+        record, prefix, is_last, is_root = work.pop()
         if is_root:
             lines.append(_format_span_line(record))
             child_prefix = ""
@@ -265,11 +352,8 @@ def render_tree(
             lines.append(prefix + connector + _format_span_line(record))
             child_prefix = prefix + ("   " if is_last else "|  ")
         kids = children.get(record["id"], [])
-        for i, child in enumerate(kids):
-            emit(child, child_prefix, i == len(kids) - 1, False)
-
-    for root in roots:
-        emit(root, "", True, True)
+        for i in range(len(kids) - 1, -1, -1):
+            work.append((kids[i], child_prefix, i == len(kids) - 1, False))
     return "\n".join(lines)
 
 
@@ -279,6 +363,18 @@ def render_tree(
 def current_tracer() -> Optional[Tracer]:
     """The tracer active on this thread, or ``None``."""
     return getattr(_local, "tracer", None)
+
+
+def clear_inherited_tracer() -> None:
+    """Drop a tracer this thread inherited across a process ``fork``.
+
+    A worker process forked while the submitting thread was inside
+    :func:`tracing` carries a copy of the parent's thread-local tracer —
+    an orphan whose spans can never reach the parent.  Worker bootstrap
+    (``repro.parallel.backend._run_traced``) clears it before opening the
+    worker-local trace; anywhere else this is a no-op.
+    """
+    _local.tracer = None
 
 
 def current_span() -> Optional[Span]:

@@ -35,12 +35,23 @@ abruptly raises :class:`~repro.errors.WorkerCrashError` instead of hanging,
 and the broken pool is discarded so the *next* call restarts fresh workers
 (counted by ``smatch_parallel_worker_restarts_total``).  Exceptions raised
 *inside* a task function propagate unchanged.
+
+Telemetry crosses the fan-out boundary truthfully (docs/OBSERVABILITY.md):
+when the submitting thread is tracing, each pooled chunk runs under a
+worker-local :class:`~repro.obs.trace.Tracer` whose records ship back with
+the result and are spliced into the parent trace under the open
+``parallel.map`` span, tagged with the worker identity; process workers
+additionally run a local :class:`~repro.obs.metrics.MetricsRegistry` whose
+mergeable snapshot is folded into the parent registry (counters add,
+gauges max), so ``smatch_parallel_*`` and OPE-cache counters agree across
+serial, thread, and process backends.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -66,8 +77,20 @@ except ImportError:  # pragma: no cover - Python < 3.8 is unsupported anyway
         return cls
 
 from repro.errors import ParallelError, ParameterError, WorkerCrashError
-from repro.obs.metrics import metric_inc, metric_set
-from repro.obs.trace import span
+from repro.obs.metrics import (
+    M_OBS_WORKER_SPANS,
+    M_PARALLEL_CHUNKS,
+    M_PARALLEL_QUEUE_DEPTH,
+    M_PARALLEL_TASKS,
+    M_PARALLEL_WORKER_RESTARTS,
+    MetricsRegistry,
+    active_metrics,
+    disable_metrics,
+    enable_metrics,
+    metric_inc,
+    metric_set,
+)
+from repro.obs.trace import clear_inherited_tracer, current_tracer, span, tracing
 
 __all__ = [
     "BACKEND_NAMES",
@@ -102,11 +125,21 @@ class TaskEnvelope:
     the batch shares; process backends deliver it to each worker exactly
     once via the pool initializer.  ``label`` names the work in spans and
     error messages (never interpolate task *data* into it).
+
+    ``obs`` controls worker-side telemetry capture.  ``None`` (the default)
+    derives it from the parent: workers record spans exactly when a tracer
+    is active on the submitting thread, and (process backends only) run a
+    local metrics registry exactly when one is enabled in the parent.
+    ``False`` disables capture even then — for batches so fine-grained the
+    per-chunk tracer would dominate; ``True`` forces worker-side capture
+    regardless, for harnesses that collect the payloads themselves (the
+    parent still splices/merges only what its own activation can absorb).
     """
 
     fn: TaskFn
     context: Any = None
     label: str = "task"
+    obs: Optional[bool] = None
 
 
 def partition_chunks(
@@ -145,8 +178,104 @@ def _default_workers(workers: Optional[int]) -> int:
 
 
 def _note_batch(num_chunks: int, num_tasks: int) -> None:
-    metric_inc("smatch_parallel_chunks_total", num_chunks)
-    metric_inc("smatch_parallel_tasks_total", num_tasks)
+    metric_inc(M_PARALLEL_CHUNKS, num_chunks)
+    metric_inc(M_PARALLEL_TASKS, num_tasks)
+
+
+# -- worker-side telemetry capture ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerTelemetry:
+    """A chunk result wrapped with the worker's captured telemetry.
+
+    ``spans`` is the worker tracer's depth-first record list (the
+    :meth:`~repro.obs.trace.Tracer.span_records` shape) or ``None`` when
+    span capture was off; ``metrics`` is the worker registry's mergeable
+    view or ``None``; ``worker`` identifies the executing worker (pool
+    thread name, or ``pid-<n>`` for a worker process).
+    """
+
+    result: Any
+    spans: Optional[List[Dict[str, Any]]]
+    metrics: Optional[Dict[str, Dict[str, Any]]]
+    worker: str
+
+
+def _run_traced(
+    fn: TaskFn,
+    context: Any,
+    chunk: Sequence[Any],
+    label: str,
+    index: int,
+    capture_spans: bool,
+    capture_metrics: bool,
+    kind: str,
+) -> _WorkerTelemetry:
+    """Run one chunk under worker-local telemetry and wrap the result.
+
+    Pool threads have no thread-local tracer (spans opened inside them
+    no-op'd before this existed — the thread-backend span-loss bug), and
+    worker processes additionally have a private metrics registry, so both
+    capture locally here and ship the records back for parent-side
+    splicing/merging.  Exceptions from ``fn`` propagate unchanged; the
+    local registry swap is always restored.
+    """
+    if kind == "thread":
+        worker = threading.current_thread().name
+    else:
+        worker = f"pid-{os.getpid()}"
+        # a fork-started worker inherits the submitting thread's tracer;
+        # it is an orphan copy here — clear it so the worker trace opens
+        clear_inherited_tracer()
+    prior_registry = active_metrics()
+    local_registry: Optional[MetricsRegistry] = None
+    if capture_metrics:
+        local_registry = enable_metrics(MetricsRegistry())
+    try:
+        if capture_spans:
+            with tracing("parallel.chunk", label=label, chunk=index) as tracer:
+                result = fn(context, chunk)
+            spans: Optional[List[Dict[str, Any]]] = tracer.span_records()
+        else:
+            result = fn(context, chunk)
+            spans = None
+    finally:
+        if capture_metrics:
+            if prior_registry is None:
+                disable_metrics()
+            else:
+                enable_metrics(prior_registry)
+    return _WorkerTelemetry(
+        result=result,
+        spans=spans,
+        metrics=(
+            local_registry.to_mergeable() if local_registry is not None else None
+        ),
+        worker=worker,
+    )
+
+
+def _absorb_result(payload: Any) -> Any:
+    """Unwrap a collected result, splicing/merging any worker telemetry.
+
+    Runs on the submitting thread inside the open ``parallel.map`` span, so
+    spliced worker roots land under it (and their op counts / byte tallies
+    fold up through the enclosing pipeline spans).  Gracefully drops
+    telemetry the parent cannot absorb (no tracer / no registry active).
+    """
+    if not isinstance(payload, _WorkerTelemetry):
+        return payload
+    if payload.spans:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.splice(payload.spans, attrs={"worker": payload.worker})
+            metric_inc(M_OBS_WORKER_SPANS, len(payload.spans))
+    if payload.metrics is not None:
+        registry = active_metrics()
+        if registry is not None:
+            registry.merge(payload.metrics)
+    return payload.result
 
 
 @runtime_checkable
@@ -223,12 +352,39 @@ class _PooledBackend:
         raise NotImplementedError
 
     def _submit(
-        self, pool: Any, envelope: TaskEnvelope, chunk: Sequence[Any]
+        self,
+        pool: Any,
+        envelope: TaskEnvelope,
+        chunk: Sequence[Any],
+        index: int,
+        capture_spans: bool,
+        capture_metrics: bool,
     ) -> "Future[Any]":
         raise NotImplementedError
 
     def _discard_pool(self) -> None:
         raise NotImplementedError
+
+    def _captures_metrics(self) -> bool:
+        """Whether this backend's workers need a local metrics registry.
+
+        Pool *threads* share the process-wide registry, so their metric
+        emissions are already truthful; worker *processes* have a private
+        copy and must capture + ship (:class:`ProcessBackend` overrides).
+        """
+        return False
+
+    def _telemetry_plan(self, envelope: TaskEnvelope) -> Tuple[bool, bool]:
+        """``(capture_spans, capture_metrics)`` for this batch (see
+        :class:`TaskEnvelope` on the ``obs`` flag semantics)."""
+        if envelope.obs is False:
+            return (False, False)
+        if envelope.obs is True:
+            return (True, self._captures_metrics())
+        return (
+            current_tracer() is not None,
+            self._captures_metrics() and active_metrics() is not None,
+        )
 
     # the shared engine --------------------------------------------------------
 
@@ -247,12 +403,13 @@ class _PooledBackend:
             try:
                 return self._collect(envelope, chunks)
             finally:
-                metric_set("smatch_parallel_queue_depth", 0)
+                metric_set(M_PARALLEL_QUEUE_DEPTH, 0)
 
     def _collect(
         self, envelope: TaskEnvelope, chunks: List[Sequence[Any]]
     ) -> List[Any]:
         pool = self._pool_for(envelope)
+        capture_spans, capture_metrics = self._telemetry_plan(envelope)
         results: List[Any] = [None] * len(chunks)
         pending: Deque[Tuple[int, "Future[Any]"]] = deque()
         next_index = 0
@@ -261,15 +418,27 @@ class _PooledBackend:
             nonlocal next_index
             index = next_index
             next_index += 1
-            pending.append((index, self._submit(pool, envelope, chunks[index])))
+            pending.append(
+                (
+                    index,
+                    self._submit(
+                        pool,
+                        envelope,
+                        chunks[index],
+                        index,
+                        capture_spans,
+                        capture_metrics,
+                    ),
+                )
+            )
 
         while next_index < len(chunks) and len(pending) < self._max_inflight:
             submit_one()
-        metric_set("smatch_parallel_queue_depth", len(pending))
+        metric_set(M_PARALLEL_QUEUE_DEPTH, len(pending))
         while pending:
             index, future = pending.popleft()
             try:
-                results[index] = future.result()
+                results[index] = _absorb_result(future.result())
             except BrokenProcessPool as exc:
                 # the pool is unusable: drop it (the next map_chunks call
                 # restarts fresh workers) and surface a typed error instead
@@ -278,14 +447,14 @@ class _PooledBackend:
                     leftover.cancel()
                 pending.clear()
                 self._discard_pool()
-                metric_inc("smatch_parallel_worker_restarts_total")
+                metric_inc(M_PARALLEL_WORKER_RESTARTS)
                 raise WorkerCrashError(
                     f"worker process died while running {envelope.label!r} "
                     f"chunk {index} of {len(chunks)}"
                 ) from exc
             if next_index < len(chunks):
                 submit_one()
-            metric_set("smatch_parallel_queue_depth", len(pending))
+            metric_set(M_PARALLEL_QUEUE_DEPTH, len(pending))
         return results
 
     def close(self) -> None:
@@ -325,8 +494,26 @@ class ThreadBackend(_PooledBackend):
         return self._pool
 
     def _submit(
-        self, pool: ThreadPoolExecutor, envelope: TaskEnvelope, chunk: Sequence[Any]
+        self,
+        pool: ThreadPoolExecutor,
+        envelope: TaskEnvelope,
+        chunk: Sequence[Any],
+        index: int,
+        capture_spans: bool,
+        capture_metrics: bool,
     ) -> "Future[Any]":
+        if capture_spans or capture_metrics:
+            return pool.submit(
+                _run_traced,
+                envelope.fn,
+                envelope.context,
+                chunk,
+                envelope.label,
+                index,
+                capture_spans,
+                capture_metrics,
+                "thread",
+            )
         return pool.submit(envelope.fn, envelope.context, chunk)
 
     def _discard_pool(self) -> None:
@@ -350,6 +537,27 @@ def _initialize_worker(context: Any) -> None:
 def _run_chunk(fn: TaskFn, chunk: Sequence[Any]) -> Any:
     """Worker-side trampoline: apply the task to the warm-started context."""
     return fn(_WORKER_CONTEXT, chunk)
+
+
+def _run_chunk_traced(
+    fn: TaskFn,
+    chunk: Sequence[Any],
+    label: str,
+    index: int,
+    capture_spans: bool,
+    capture_metrics: bool,
+) -> _WorkerTelemetry:
+    """Trampoline for traced chunks: warm context + worker-local telemetry."""
+    return _run_traced(
+        fn,
+        _WORKER_CONTEXT,
+        chunk,
+        label,
+        index,
+        capture_spans,
+        capture_metrics,
+        "process",
+    )
 
 
 class ProcessBackend(_PooledBackend):
@@ -408,9 +616,28 @@ class ProcessBackend(_PooledBackend):
                 f"picklable ({type(exc).__name__})"
             ) from exc
 
+    def _captures_metrics(self) -> bool:
+        return True
+
     def _submit(
-        self, pool: ProcessPoolExecutor, envelope: TaskEnvelope, chunk: Sequence[Any]
+        self,
+        pool: ProcessPoolExecutor,
+        envelope: TaskEnvelope,
+        chunk: Sequence[Any],
+        index: int,
+        capture_spans: bool,
+        capture_metrics: bool,
     ) -> "Future[Any]":
+        if capture_spans or capture_metrics:
+            return pool.submit(
+                _run_chunk_traced,
+                envelope.fn,
+                chunk,
+                envelope.label,
+                index,
+                capture_spans,
+                capture_metrics,
+            )
         return pool.submit(_run_chunk, envelope.fn, chunk)
 
     def _discard_pool(self) -> None:

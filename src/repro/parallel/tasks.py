@@ -110,6 +110,13 @@ def enroll_chunk(
     for profile, seed in chunk:
         payload, key = scheme.enroll(profile, rng=SystemRandomSource(seed))
         out.append((profile.user_id, payload, key))
+    if scheme.ope_cache is not None:
+        # flush cache counter deltas to whichever registry is active here —
+        # the worker-local one under process fan-out, the shared one
+        # otherwise — so merged totals match the serial run exactly
+        # (cache entries are namespaced per profile key, making hit/miss
+        # counts chunk-local and backend-invariant)
+        scheme.ope_cache.flush_metrics()
     return out
 
 

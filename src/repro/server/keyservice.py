@@ -30,7 +30,16 @@ from repro.net.oprf_messages import (
     OprfResponse,
 )
 from repro.obs.logs import get_logger
-from repro.obs.metrics import DURATION_US_BUCKETS, metric_inc, metric_observe
+from repro.obs.metrics import (
+    DURATION_US_BUCKETS,
+    M_KEYSERVICE_BATCHED_EVALUATIONS,
+    M_KEYSERVICE_BATCHES,
+    M_KEYSERVICE_EVALUATIONS,
+    M_KEYSERVICE_REJECTIONS,
+    M_SERVER_HANDLER_LATENCY_US,
+    metric_inc,
+    metric_observe,
+)
 from repro.obs.trace import span
 
 __all__ = ["KeyGenService", "RateLimitExceeded"]
@@ -139,7 +148,7 @@ class KeyGenService:
             budget = self._budgets[client]
         if budget.used + amount > self.max_requests:
             self.rejections += 1
-            metric_inc("smatch_keyservice_rejections_total")
+            metric_inc(M_KEYSERVICE_REJECTIONS)
             _log.warning(
                 "rate_limit_exceeded",
                 client=client,
@@ -188,7 +197,7 @@ class KeyGenService:
                             f"invalid OPRF request: {exc}"
                         ) from exc
                     self.evaluations_served += 1
-                    metric_inc("smatch_keyservice_evaluations_total")
+                    metric_inc(M_KEYSERVICE_EVALUATIONS)
                     # the evaluated value is x^d mod N on a value still
                     # masked by the client's blinding factor r^e, so it may
                     # cross the wire: evaluate_blinded is registered as a
@@ -238,11 +247,11 @@ class KeyGenService:
                         ) from exc
                     self.evaluations_served += len(evaluated)
                     metric_inc(
-                        "smatch_keyservice_evaluations_total", len(evaluated)
+                        M_KEYSERVICE_EVALUATIONS, len(evaluated)
                     )
-                    metric_inc("smatch_keyservice_batches_total")
+                    metric_inc(M_KEYSERVICE_BATCHES)
                     metric_inc(
-                        "smatch_keyservice_batched_evaluations_total",
+                        M_KEYSERVICE_BATCHED_EVALUATIONS,
                         len(evaluated),
                     )
                     # blinded-evaluation outputs: wire-safe through the same
@@ -256,7 +265,7 @@ class KeyGenService:
             )
         finally:
             metric_observe(
-                "smatch_server_handler_latency_us",
+                M_SERVER_HANDLER_LATENCY_US,
                 (time.monotonic_ns() - start_ns) // 1000,
                 DURATION_US_BUCKETS,
             )

@@ -40,7 +40,13 @@ from repro.core.scheme import EncryptedProfile
 from repro.errors import MatchingError, ParameterError
 from repro.server.storage import ProfileStore
 from repro.obs.instrument import count_op
-from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.metrics import (
+    M_MATCHER_BULK_QUERIES,
+    M_MATCHER_GROUPS_INDEXED,
+    M_MATCHER_GROUP_GENERATION,
+    metric_inc,
+    metric_set,
+)
 from repro.obs.trace import span
 
 __all__ = ["ServerMatcher"]
@@ -221,7 +227,7 @@ class ServerMatcher:
             # a dead group keeps no cached order (the old frozenset cache
             # leaked these entries forever)
             del self._groups[key_index]
-            metric_set("smatch_matcher_groups_indexed", len(self._groups))
+            metric_set(M_MATCHER_GROUPS_INDEXED, len(self._groups))
             return
         self._note_generation(index)
 
@@ -229,7 +235,7 @@ class ServerMatcher:
         if index.generation > self._max_generation:
             self._max_generation = index.generation
             metric_set(
-                "smatch_matcher_group_generation", self._max_generation
+                M_MATCHER_GROUP_GENERATION, self._max_generation
             )
 
     # -- group index ----------------------------------------------------------
@@ -256,7 +262,7 @@ class ServerMatcher:
                         column.add(value)
                 index._clean_chains = dict(index.chains)
         self._groups[key_index] = index
-        metric_set("smatch_matcher_groups_indexed", len(self._groups))
+        metric_set(M_MATCHER_GROUPS_INDEXED, len(self._groups))
         return index
 
     # -- queries --------------------------------------------------------------
@@ -319,7 +325,7 @@ class ServerMatcher:
             if backend is not None
             else (default_backend() or SerialBackend())
         )
-        metric_inc("smatch_matcher_bulk_queries_total", len(query_users))
+        metric_inc(M_MATCHER_BULK_QUERIES, len(query_users))
         with span(
             "server.query_bulk",
             queries=len(query_users),
@@ -387,4 +393,4 @@ class ServerMatcher:
     def invalidate(self) -> None:
         """Drop all group indexes (tests use this to exercise the cold path)."""
         self._groups.clear()
-        metric_set("smatch_matcher_groups_indexed", 0)
+        metric_set(M_MATCHER_GROUPS_INDEXED, 0)

@@ -24,7 +24,15 @@ from repro.net.messages import (
     UploadMessage,
 )
 from repro.obs.logs import get_logger
-from repro.obs.metrics import DURATION_US_BUCKETS, metric_inc, metric_observe
+from repro.obs.metrics import (
+    DURATION_US_BUCKETS,
+    M_SERVER_HANDLER_LATENCY_US,
+    M_SERVER_QUERIES,
+    M_SERVER_RESULTS,
+    M_SERVER_UPLOADS,
+    metric_inc,
+    metric_observe,
+)
 from repro.obs.trace import span
 from repro.server.matcher import ServerMatcher
 from repro.server.storage import ProfileStore
@@ -53,7 +61,7 @@ class SMatchServer:
             with span("server.handle_upload", user=message.payload.user_id):
                 self.store.put(message.payload)
                 self.uploads_accepted += 1
-                metric_inc("smatch_server_uploads_total")
+                metric_inc(M_SERVER_UPLOADS)
                 _log.debug(
                     "upload_stored",
                     user=message.payload.user_id,
@@ -73,8 +81,8 @@ class SMatchServer:
                     for uid in matches
                 )
                 self.queries_served += 1
-                metric_inc("smatch_server_queries_total")
-                metric_inc("smatch_server_results_total", len(entries))
+                metric_inc(M_SERVER_QUERIES)
+                metric_inc(M_SERVER_RESULTS, len(entries))
                 _log.debug(
                     "query_served",
                     user=request.user_id,
@@ -91,7 +99,7 @@ class SMatchServer:
     @staticmethod
     def _observe_latency(start_ns: int) -> None:
         metric_observe(
-            "smatch_server_handler_latency_us",
+            M_SERVER_HANDLER_LATENCY_US,
             (time.monotonic_ns() - start_ns) // 1000,
             DURATION_US_BUCKETS,
         )

@@ -112,3 +112,97 @@ class TestObsFlow:
         assert "-- trace --" in out
         assert "simulate" in out
         assert "-- metrics --" in out
+
+
+class TestObsAnalytics:
+    """The offline analysis subcommands: flame, top, critical-path, diff."""
+
+    @pytest.fixture(autouse=True)
+    def _telemetry_off(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        from repro.obs.trace import span, tracing
+
+        with tracing("run") as tracer:
+            with span("enroll"):
+                with span("encrypt"):
+                    sum(range(500))
+            with span("query"):
+                sum(range(100))
+        path = tmp_path / "trace.jsonl"
+        path.write_text(tracer.to_jsonl(), encoding="utf-8")
+        return path
+
+    def test_flame_folded_to_stdout(self, trace_file, capsys):
+        assert main(["obs", "flame", str(trace_file), "--format", "folded"]) == 0
+        out = capsys.readouterr().out
+        assert "run;enroll;encrypt " in out
+        # folded self-times re-aggregate to exactly the root duration
+        root = json.loads(trace_file.read_text().splitlines()[0])
+        total = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in out.strip().splitlines()
+        )
+        assert total == root["duration_us"]
+
+    def test_flame_html_to_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "flame.html"
+        code = main(
+            [
+                "obs",
+                "flame",
+                str(trace_file),
+                "--out",
+                str(out_path),
+                "--title",
+                "cli test",
+            ]
+        )
+        assert code == 0
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "cli test" in html and 'class="frame"' in html
+
+    def test_top(self, trace_file, capsys):
+        assert main(["obs", "top", str(trace_file), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "self_us" in out and "span" in out
+        assert len(out.strip().splitlines()) == 3  # header + 2 rows
+
+    def test_critical_path(self, trace_file, capsys):
+        assert main(["obs", "critical-path", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("run ")
+        assert "% of root" in out
+
+    def test_diff_writes_schema_tagged_json(self, trace_file, tmp_path, capsys):
+        report_path = tmp_path / "diff.json"
+        code = main(
+            [
+                "obs",
+                "diff",
+                str(trace_file),
+                str(trace_file),
+                "--json-out",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace diff: root" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "smatch-trace-diff/1"
+        assert report["delta_root_us"] == 0
+        assert report["top_regression"] is None
+
+    def test_flame_reads_from_obs_dir(self, trace_file, tmp_path, capsys):
+        # without a positional trace the subcommands read --dir/trace.jsonl
+        target = tmp_path / "artifacts"
+        target.mkdir()
+        (target / "trace.jsonl").write_text(trace_file.read_text())
+        assert main(["obs", "top", "--dir", str(target)]) == 0
+        assert "run" in capsys.readouterr().out

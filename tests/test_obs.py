@@ -261,6 +261,91 @@ class TestMetrics:
         metric_inc("smatch_x_total")
         assert registry.snapshot()["counters"]["smatch_x_total"] == 2
 
+    def test_histogram_reregistration_with_other_bounds_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("smatch_b", (64, 256))
+        with pytest.raises(ParameterError) as exc:
+            registry.histogram("smatch_b", (10, 100))
+        # the error must name the metric — it points at the offending site
+        assert "smatch_b" in str(exc.value)
+        assert "(64, 256)" in str(exc.value)
+        # same bounds re-register fine (list vs tuple is immaterial)
+        assert registry.histogram("smatch_b", [64, 256]).count == 0
+
+    def test_metric_names_cover_catalog(self):
+        from repro.obs.metrics import METRICS, metric_names
+
+        names = metric_names()
+        assert names == frozenset(METRICS)
+        assert "smatch_server_uploads_total" in names
+        assert "smatch_obs_worker_spans_total" in names
+
+
+class TestMergeableRegistries:
+    """Cross-process aggregation: merge(to_mergeable()) is exact."""
+
+    def test_counters_add_gauges_max_histograms_add(self):
+        worker = MetricsRegistry()
+        worker.counter("smatch_x_total").inc(3)
+        worker.gauge("smatch_depth").set(5)
+        worker.histogram("smatch_b", (64, 256)).observe(100)
+        parent = MetricsRegistry()
+        parent.counter("smatch_x_total").inc(2)
+        parent.gauge("smatch_depth").set(9)
+        parent.histogram("smatch_b", (64, 256)).observe(30)
+        parent.merge(worker.to_mergeable())
+        snap = parent.snapshot()
+        assert snap["counters"]["smatch_x_total"] == 5
+        assert snap["gauges"]["smatch_depth"] == 9  # level metrics keep max
+        assert snap["histograms"]["smatch_b"]["count"] == 2
+        assert snap["histograms"]["smatch_b"]["sum"] == 130
+
+    def test_merge_is_associative_and_commutative(self):
+        def make(c, g):
+            registry = MetricsRegistry()
+            registry.counter("smatch_x_total").inc(c)
+            registry.gauge("smatch_depth").set(g)
+            registry.histogram("smatch_b", (64,)).observe(c)
+            return registry
+
+        views = [make(1, 4).to_mergeable(), make(2, 2).to_mergeable()]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for view in views:
+            forward.merge(view)
+        for view in reversed(views):
+            backward.merge(view)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_creates_missing_metrics(self):
+        worker = MetricsRegistry()
+        worker.counter("smatch_new_total").inc(7)
+        worker.histogram("smatch_h", (10,)).observe(3)
+        parent = MetricsRegistry()
+        parent.merge(worker.to_mergeable())
+        snap = parent.snapshot()
+        assert snap["counters"]["smatch_new_total"] == 7
+        assert snap["histograms"]["smatch_h"]["count"] == 1
+
+    def test_merge_rejects_mismatched_bounds(self):
+        worker = MetricsRegistry()
+        worker.histogram("smatch_h", (10,)).observe(1)
+        parent = MetricsRegistry()
+        parent.histogram("smatch_h", (99,))
+        with pytest.raises(ParameterError) as exc:
+            parent.merge(worker.to_mergeable())
+        assert "smatch_h" in str(exc.value)
+
+    def test_mergeable_round_trips_through_pickle_shape(self):
+        # workers ship this dict across a process boundary: it must be
+        # plain JSON-compatible data, no live metric objects
+        worker = MetricsRegistry()
+        worker.counter("smatch_x_total").inc(1)
+        worker.histogram("smatch_b", (64,)).observe(9)
+        view = json.loads(json.dumps(worker.to_mergeable()))
+        parent = MetricsRegistry()
+        parent.merge(view)
+        assert parent.snapshot()["counters"]["smatch_x_total"] == 1
+
 
 class TestLogging:
     def test_redactor_refuses_secret_fields(self):

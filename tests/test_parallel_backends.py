@@ -325,3 +325,192 @@ class TestResolution:
             ThreadBackend(0)
         with pytest.raises(ParameterError):
             ProcessBackend(2, max_inflight=0)
+
+
+# -- cross-backend telemetry equivalence ---------------------------------------
+
+
+def _telemetry_scheme() -> SMatch:
+    # expansion_bits > 0 gives the OPE descent real split points, so the
+    # node cache is exercised and its counters are non-trivially non-zero
+    return SMatch(
+        SMatchParams(
+            schema=SCHEMA, theta=8, plaintext_bits=32, ope_expansion_bits=8
+        ),
+        rng=SystemRandomSource(41),
+    )
+
+
+@pytest.fixture(scope="module")
+def distinct_profiles():
+    # every pair far outside theta: each profile lands in its own key
+    # group, so the OPE cache namespaces (keyed per ProfileKey) are
+    # chunk-local and hit/miss totals cannot depend on which worker's
+    # cache served a lookup — the property that makes the counters
+    # backend-invariant
+    return [
+        Profile(
+            i,
+            SCHEMA,
+            (400 * i % 4096, (700 * i + 13) % 4096, (1100 * i + 29) % 4096),
+        )
+        for i in range(1, 10)
+    ]
+
+
+def _traced_enroll(backend, distinct_profiles):
+    """Enroll under a fresh tracer + registry; returns (uploads, counters,
+    span records, root ops)."""
+    from repro.obs.metrics import (
+        MetricsRegistry,
+        disable_metrics,
+        enable_metrics,
+    )
+    from repro.obs.trace import tracing
+
+    registry = enable_metrics(MetricsRegistry())
+    try:
+        with tracing("test.enroll") as tracer:
+            uploads, _ = _telemetry_scheme().enroll_population(
+                distinct_profiles, backend=backend, seed=99, chunk_size=3
+            )
+        records = [
+            __import__("json").loads(line)
+            for line in tracer.to_jsonl().splitlines()
+        ]
+        counters = registry.snapshot()["counters"]
+    finally:
+        disable_metrics()
+    root_ops = next(r["ops"] for r in records if r["parent"] is None)
+    return uploads, counters, records, root_ops
+
+
+class TestTelemetryEquivalence:
+    """Counters and span forests are truthful across execution backends.
+
+    ``smatch_parallel_*``, ``smatch_ope_cache_*_total``, and
+    ``smatch_enroll_*`` measure the *work*, so a seeded batch must report
+    identical totals whether it ran serially, on GIL threads, or fanned
+    out to worker processes; only ``smatch_obs_worker_spans_total`` (the
+    collection mechanism) legitimately differs, and gauges like cache
+    ``entries`` may (one big serial cache vs per-worker caches merged by
+    max).  Worker spans splice into the parent trace under the submitting
+    span, tagged with the worker's identity.
+    """
+
+    _WORK_PREFIXES = ("smatch_parallel_", "smatch_ope_cache_", "smatch_enroll_")
+
+    @classmethod
+    def _work_counters(cls, counters):
+        return {
+            name: value
+            for name, value in counters.items()
+            if name.startswith(cls._WORK_PREFIXES)
+        }
+
+    @pytest.fixture(scope="class")
+    def serial_telemetry(self, distinct_profiles):
+        return _traced_enroll(SerialBackend(), distinct_profiles)
+
+    @pytest.mark.parametrize("kind", ["thread", "process"])
+    def test_counters_match_serial(
+        self, kind, serial_telemetry, distinct_profiles
+    ):
+        if kind == "thread":
+            backend = ThreadBackend(4)
+        else:
+            backend = ProcessBackend(4, mp_context="fork")
+        with backend:
+            uploads, counters, _, root_ops = _traced_enroll(
+                backend, distinct_profiles
+            )
+        s_uploads, s_counters, _, s_root_ops = serial_telemetry
+        assert uploads == s_uploads
+        assert self._work_counters(counters) == self._work_counters(s_counters)
+        # the cache genuinely ran: equality of zeros would prove nothing
+        assert counters["smatch_ope_cache_hits_total"] > 0
+        assert counters["smatch_parallel_chunks_total"] == 3
+        assert counters["smatch_parallel_tasks_total"] == 9
+        # ops folded through spliced worker spans reach the root intact
+        assert root_ops == s_root_ops
+
+    def test_process_worker_spans_spliced_and_tagged(self, distinct_profiles):
+        with ProcessBackend(4, mp_context="fork") as backend:
+            _, counters, records, _ = _traced_enroll(
+                backend, distinct_profiles
+            )
+        chunk_spans = [r for r in records if r["name"] == "parallel.chunk"]
+        assert len(chunk_spans) == 3  # one per chunk
+        map_ids = {r["id"] for r in records if r["name"] == "parallel.map"}
+        for record in chunk_spans:
+            assert record["parent"] in map_ids
+            assert record["attrs"]["worker"].startswith("pid-")
+            assert record["attrs"]["label"] == "scheme.enroll_population"
+        # every spliced span (chunk roots plus the worker-side subtrees
+        # under them) is counted by the collection-mechanism metric
+        parents = {r["id"]: r.get("parent") for r in records}
+        chunk_ids = {r["id"] for r in chunk_spans}
+
+        def in_worker_subtree(span_id):
+            while span_id is not None:
+                if span_id in chunk_ids:
+                    return True
+                span_id = parents.get(span_id)
+            return False
+
+        spliced = sum(1 for r in records if in_worker_subtree(r["id"]))
+        assert counters["smatch_obs_worker_spans_total"] == spliced >= 3
+
+    def test_thread_worker_spans_not_lost(self, distinct_profiles):
+        # regression guard: thread workers run off the submitting thread,
+        # so without capture+splice their spans silently vanished
+        with ThreadBackend(4) as backend:
+            _, counters, records, _ = _traced_enroll(
+                backend, distinct_profiles
+            )
+        chunk_spans = [r for r in records if r["name"] == "parallel.chunk"]
+        assert len(chunk_spans) == 3
+        for record in chunk_spans:
+            assert record["attrs"]["worker"]  # thread name
+        assert counters["smatch_obs_worker_spans_total"] >= 3
+        # per-chunk enroll work nests under the spliced chunk spans
+        chunk_ids = {r["id"] for r in chunk_spans}
+        assert any(r["parent"] in chunk_ids for r in records)
+
+    def test_serial_has_no_worker_span_accounting(self, serial_telemetry):
+        _, counters, records, _ = serial_telemetry
+        assert "smatch_obs_worker_spans_total" not in counters
+        assert all("worker" not in r["attrs"] for r in records)
+
+    def test_envelope_obs_false_disables_capture(self, distinct_profiles):
+        from repro.obs.trace import tracing
+
+        chunks = partition_chunks(list(range(6)), chunk_size=2)
+        envelope = TaskEnvelope(
+            fn=lambda _, chunk: [x * x for x in chunk],
+            context=None,
+            label="square",
+            obs=False,
+        )
+        with ThreadBackend(2) as backend, tracing("off") as tracer:
+            results = backend.map_chunks(envelope, chunks)
+        assert [x for chunk in results for x in chunk] == [
+            x * x for x in range(6)
+        ]
+        names = {s.name for s in tracer.root.walk()}
+        assert "parallel.chunk" not in names
+
+    def test_envelope_obs_true_forces_capture(self, distinct_profiles):
+        from repro.obs.trace import tracing
+
+        chunks = partition_chunks(list(range(4)), chunk_size=2)
+        envelope = TaskEnvelope(
+            fn=lambda _, chunk: list(chunk),
+            context=None,
+            label="identity",
+            obs=True,
+        )
+        with ThreadBackend(2) as backend, tracing("on") as tracer:
+            backend.map_chunks(envelope, chunks)
+        names = [s.name for s in tracer.root.walk()]
+        assert names.count("parallel.chunk") == 2

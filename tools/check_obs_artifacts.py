@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro simulate --users 8 --steps 2 --obs-dir obs-artifacts
-    python -m tools.check_obs_artifacts obs-artifacts
+    python -m tools.check_obs_artifacts obs-artifacts --scan-sources src/repro
 
 Checks that ``trace.jsonl`` parses line-by-line, that parent links resolve
 to earlier spans, that durations and tallies are sane non-negative
@@ -12,15 +12,32 @@ build, entropy increase, fuzzy keygen + OPRF, OPE encryption, server
 upload handling, verification).  Also checks ``metrics.json`` /
 ``metrics.prom`` exist and agree on the upload counter.
 
+Metric names are validated against the **single registry** in
+:mod:`repro.obs.metrics` (the ``METRICS`` catalog the emitting code also
+imports its ``M_*`` constants from) — a name outside the registry is
+almost always a typo that would silently split a time series.  With
+``--scan-sources DIR`` the gate additionally walks the source tree's ASTs
+and fails on any ``metric_inc`` / ``metric_set`` / ``metric_observe``
+call whose metric-name argument is neither a registered literal nor a
+name imported from :mod:`repro.obs.metrics`.
+
 Exit codes: 0 all checks pass, 1 a check failed, 2 usage error.
 """
 
 from __future__ import annotations
 
+import argparse
+import ast
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import FrozenSet, List
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs.metrics import metric_names  # noqa: E402
 
 # Every phase the Section-III pipeline must traverse in one simulation
 # round.  Query-dependent spans (server.handle_query, match.score_table)
@@ -42,39 +59,15 @@ REQUIRED_SPANS = (
 
 _SPAN_INT_FIELDS = ("start_us", "duration_us")
 
-# Every metric name the instrumented tree may emit (docs/OBSERVABILITY.md
-# naming scheme).  An unknown name in metrics.json is almost always a typo
-# at one of two call sites that will silently split a time series.
-KNOWN_METRICS = frozenset(
-    {
-        "smatch_server_uploads_total",
-        "smatch_server_queries_total",
-        "smatch_server_results_total",
-        "smatch_matcher_groups_indexed",
-        "smatch_matcher_group_generation",
-        "smatch_keyservice_evaluations_total",
-        "smatch_keyservice_batched_evaluations_total",
-        "smatch_keyservice_batches_total",
-        "smatch_keyservice_rejections_total",
-        "smatch_net_messages_total",
-        "smatch_net_message_bytes",
-        "smatch_channel_messages_total",
-        "smatch_channel_sent_bytes",
-        "smatch_channel_received_bytes",
-        "smatch_ope_cache_hits_total",
-        "smatch_ope_cache_misses_total",
-        "smatch_ope_cache_evictions_total",
-        "smatch_ope_cache_entries",
-        "smatch_enroll_batch_profiles_total",
-        "smatch_enroll_batch_chunks_total",
-        "smatch_server_handler_latency_us",
-        "smatch_parallel_tasks_total",
-        "smatch_parallel_chunks_total",
-        "smatch_parallel_worker_restarts_total",
-        "smatch_parallel_queue_depth",
-        "smatch_matcher_bulk_queries_total",
-    }
-)
+#: The single source of truth (repro.obs.metrics.METRICS) — the
+#: hand-maintained whitelist this used to be needed editing in three
+#: consecutive PRs before it was generated.
+KNOWN_METRICS: FrozenSet[str] = metric_names()
+
+#: The module-level emit helpers whose first argument is a metric name.
+_EMIT_HELPERS = ("metric_inc", "metric_set", "metric_observe")
+
+_REGISTRY_MODULE = "repro.obs.metrics"
 
 
 def check_trace(path: Path, problems: List[str]) -> None:
@@ -161,8 +154,7 @@ def check_metrics(directory: Path, problems: List[str]) -> None:
             if name not in KNOWN_METRICS:
                 problems.append(
                     f"{json_path}: unknown metric name {name!r} in {family} "
-                    "(typo, or add it to KNOWN_METRICS in "
-                    "tools/check_obs_artifacts.py)"
+                    "(typo, or register it in repro.obs.metrics.METRICS)"
                 )
     counters = snapshot.get("counters", {})
     uploads = counters.get("smatch_server_uploads_total", 0)
@@ -184,28 +176,131 @@ def check_metrics(directory: Path, problems: List[str]) -> None:
         )
 
 
+def scan_emit_sites(root: Path, problems: List[str]) -> int:
+    """AST-walk ``root`` for emit-helper calls with unregistered names.
+
+    A call like ``metric_inc("smatch_typo_total")`` fails unless the
+    literal is in the registry; ``metric_inc(M_SERVER_UPLOADS)`` passes
+    when the name was imported from :mod:`repro.obs.metrics` (constants
+    there are registered by construction).  Anything dynamic (f-strings,
+    attribute lookups, locals) fails — metric names must be static so the
+    time series set is knowable offline.  Returns the number of emit
+    sites inspected.
+    """
+    inspected = 0
+    for py in sorted(root.rglob("*.py")):
+        try:
+            tree = ast.parse(py.read_text(encoding="utf-8"), filename=str(py))
+        except SyntaxError as exc:
+            problems.append(f"{py}: unparseable ({exc})")
+            continue
+        registry_names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == _REGISTRY_MODULE:
+                registry_names.update(
+                    alias.asname or alias.name for alias in node.names
+                )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = None
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            if callee not in _EMIT_HELPERS or not node.args:
+                continue
+            inspected += 1
+            where = f"{py}:{node.lineno}"
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                if name_arg.value not in KNOWN_METRICS:
+                    problems.append(
+                        f"{where}: {callee} emits unregistered metric "
+                        f"{name_arg.value!r} (register it in "
+                        "repro.obs.metrics.METRICS, or better, import its "
+                        "M_* constant)"
+                    )
+            elif isinstance(name_arg, ast.Name):
+                if name_arg.id not in registry_names:
+                    problems.append(
+                        f"{where}: {callee} metric name {name_arg.id!r} is "
+                        f"not imported from {_REGISTRY_MODULE} — emit sites "
+                        "must use the registry's M_* constants"
+                    )
+            else:
+                problems.append(
+                    f"{where}: {callee} metric name is not a static "
+                    "literal or registry constant; dynamic names make the "
+                    "time-series set unknowable offline"
+                )
+    return inspected
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 1:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.check_obs_artifacts",
+        description="Validate telemetry artifacts and metric emit sites.",
+    )
+    parser.add_argument(
+        "directory",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="obs artifact directory (trace.jsonl + metrics.json/prom)",
+    )
+    parser.add_argument(
+        "--scan-sources",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also AST-scan this source tree for unregistered emit sites",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code else 0
+    if args.directory is None and args.scan_sources is None:
         print(
-            "usage: python -m tools.check_obs_artifacts <obs-dir>",
+            "error: nothing to do (pass an obs dir and/or --scan-sources)",
             file=sys.stderr,
         )
         return 2
-    directory = Path(argv[0])
-    trace_path = directory / "trace.jsonl"
-    if not trace_path.exists():
-        print(f"error: {trace_path} does not exist", file=sys.stderr)
-        return 1
 
     problems: List[str] = []
-    check_trace(trace_path, problems)
-    check_metrics(directory, problems)
+    summary: List[str] = []
+
+    if args.directory is not None:
+        trace_path = args.directory / "trace.jsonl"
+        if not trace_path.exists():
+            print(f"error: {trace_path} does not exist", file=sys.stderr)
+            return 1
+        check_trace(trace_path, problems)
+        check_metrics(args.directory, problems)
+        summary.append(
+            f"{trace_path} covers all {len(REQUIRED_SPANS)} pipeline phases"
+        )
+
+    if args.scan_sources is not None:
+        if not args.scan_sources.exists():
+            print(
+                f"error: {args.scan_sources} does not exist", file=sys.stderr
+            )
+            return 2
+        inspected = scan_emit_sites(args.scan_sources, problems)
+        summary.append(
+            f"{inspected} emit sites under {args.scan_sources} use "
+            f"registered names ({len(KNOWN_METRICS)} in the registry)"
+        )
 
     if problems:
         for problem in problems:
             print(f"FAIL {problem}", file=sys.stderr)
         return 1
-    print(f"ok: {trace_path} covers all {len(REQUIRED_SPANS)} pipeline phases")
+    print("ok: " + "; ".join(summary))
     return 0
 
 

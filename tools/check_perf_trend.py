@@ -23,6 +23,13 @@ Two families of checks:
   performance layer (docs/PERFORMANCE.md) must keep delivering regardless
   of machine speed.
 
+When any check fails and ``--trace CURRENT --trace-baseline BASELINE``
+point at the two runs' ``trace.jsonl`` files, the gate additionally prints
+the span-path diff attribution (``repro.obs.analysis.diff_traces``) naming
+the single most-regressed subtree — the same report ``repro obs diff``
+produces — so a red gate says *where* the time went, not just that it
+went.
+
 Exit codes: 0 all checks pass, 1 a regression or missing floor, 2 usage
 error (bad flags, unreadable/invalid artifacts).
 """
@@ -123,6 +130,49 @@ def check_speedups(
             )
 
 
+def load_trace(path: Path) -> List[Dict]:
+    """Parse a trace.jsonl into span records; raises ValueError when bad."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"{path}: unreadable ({exc})") from exc
+    records: List[Dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSONL ({exc})") from exc
+    if not records:
+        raise ValueError(f"{path}: empty trace")
+    return records
+
+
+def attribute_failure(
+    trace_current: Path, trace_baseline: Path
+) -> List[str]:
+    """Lines attributing a failed gate to the most-regressed span subtree."""
+    # imported lazily: the gate itself must stay runnable without PYTHONPATH
+    # tweaks when only the artifact checks are requested
+    try:
+        from repro.obs.analysis import diff_traces, render_diff
+    except ImportError:
+        return [
+            "attribution: repro.obs.analysis not importable "
+            "(run with PYTHONPATH=src)"
+        ]
+    try:
+        base_records = load_trace(trace_baseline)
+        current_records = load_trace(trace_current)
+    except ValueError as exc:
+        return [f"attribution: {exc}"]
+    report = diff_traces(base_records, current_records)
+    lines = ["attribution (span-path trace diff):"]
+    lines.extend("  " + line for line in render_diff(report).splitlines())
+    return lines
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m tools.check_perf_trend",
@@ -151,6 +201,18 @@ def main(argv: List[str]) -> int:
         metavar="NAME=VALUE",
         help="require artifact speedups[NAME] >= VALUE (repeatable)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="current run's trace.jsonl, used to attribute a failure",
+    )
+    parser.add_argument(
+        "--trace-baseline",
+        type=Path,
+        default=None,
+        help="baseline trace.jsonl to diff --trace against on failure",
+    )
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -176,6 +238,9 @@ def main(argv: List[str]) -> int:
     if problems:
         for problem in problems:
             print(f"FAIL {problem}", file=sys.stderr)
+        if args.trace is not None and args.trace_baseline is not None:
+            for line in attribute_failure(args.trace, args.trace_baseline):
+                print(line, file=sys.stderr)
         return 1
     print(
         f"ok: {len(rows)} ops within {args.tolerance:.0%} of baseline, "
