@@ -131,10 +131,11 @@ class RemoteKeygenClient:
         if not profiles:
             raise ProtocolError("batch derivation needs at least one profile")
         oprf_client = RsaOprfClient(self.public_key, rng=self._rng)
-        blindings = [
-            oprf_client.blind(self.extractor.key_material(p.values))
-            for p in profiles
-        ]
+        # key_material is a pure hash (no randomness), so hoisting it out
+        # of the blinding loop preserves the client's RNG draw sequence
+        blindings = oprf_client.blind_batch(
+            [self.extractor.key_material(p.values) for p in profiles]
+        )
         request_id = self._next_id()
         self._channel.send(
             BatchedBlindEvalRequest(

@@ -27,6 +27,7 @@ from repro.core.matching import knn_match, max_distance_match
 from repro.core.profile import Profile, ProfileSchema
 from repro.core.verification import AuthInfo, Verifier
 from repro.crypto.kdf import sha256
+from repro.crypto.modes import AeadCiphertext
 from repro.crypto.ope import OPE, OpeParams
 from repro.crypto.ope_cache import OpeNodeCache
 from repro.crypto.oprf import RsaOprfServer
@@ -41,6 +42,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import span
 from repro.utils.rand import SystemRandomSource
+from repro.utils.serial import LENGTH_PREFIX, FieldReader, FieldWriter
 
 __all__ = ["SMatchParams", "EncryptedProfile", "SMatch", "profile_enroll_seed"]
 
@@ -146,6 +148,71 @@ class EncryptedProfile:
             + self.auth.wire_size * 8
             + len(self.chain) * ciphertext_bits
         )
+
+    # -- wire codec ------------------------------------------------------------
+    #
+    # The single source of truth for the profile's length-prefixed field
+    # layout.  `repro.net.messages.UploadMessage` delegates here (so bytes
+    # on the wire are unchanged), and the shared-memory result arena
+    # (`repro.parallel.arena`) uses the same layout to move enrollment
+    # results across the process boundary without pickling them.
+
+    def encode_fields(self, writer: FieldWriter) -> None:
+        """Append the profile's length-prefixed fields to ``writer``."""
+        writer.write_raw_fields(self.to_wire_bytes())
+
+    @classmethod
+    def decode_fields(cls, reader: FieldReader) -> "EncryptedProfile":
+        """Rebuild a profile from fields written by :meth:`encode_fields`."""
+        user_id = reader.read_int()
+        key_index = reader.read_bytes()
+        count = reader.read_int()
+        chain = tuple(reader.read_int() for _ in range(count))
+        auth_user = reader.read_int()
+        sealed = AeadCiphertext.decode(reader.read_bytes())
+        return cls(
+            user_id=user_id,
+            key_index=key_index,
+            chain=chain,
+            auth=AuthInfo(user_id=auth_user, sealed=sealed),
+        )
+
+    def to_wire_bytes(self) -> bytes:
+        """The profile as one standalone wire blob (arena record payload).
+
+        The shared-memory result arena wire-encodes every enrollment
+        result exactly once through this method, so the fields are packed
+        by hand instead of through :class:`FieldWriter` method dispatch.
+        The layout is :meth:`decode_fields` in reverse; byte-identity with
+        the generic writer path is pinned by the codec tests.
+        """
+        pack = LENGTH_PREFIX.pack
+        value = self.user_id
+        length = (value.bit_length() + 7) // 8 or 1
+        parts = [pack(length) + value.to_bytes(length, "big")]
+        append = parts.append
+        append(pack(len(self.key_index)) + self.key_index)
+        chain = self.chain
+        value = len(chain)
+        length = (value.bit_length() + 7) // 8 or 1
+        append(pack(length) + value.to_bytes(length, "big"))
+        for value in chain:
+            length = (value.bit_length() + 7) // 8 or 1
+            append(pack(length) + value.to_bytes(length, "big"))
+        value = self.auth.user_id
+        length = (value.bit_length() + 7) // 8 or 1
+        append(pack(length) + value.to_bytes(length, "big"))
+        sealed = self.auth.sealed.encode()
+        append(pack(len(sealed)) + sealed)
+        return b"".join(parts)
+
+    @classmethod
+    def from_wire_bytes(cls, raw: bytes) -> "EncryptedProfile":
+        """Decode a blob produced by :meth:`to_wire_bytes`."""
+        reader = FieldReader(raw)
+        payload = cls.decode_fields(reader)
+        reader.expect_end()
+        return payload
 
 
 class SMatch:
@@ -425,6 +492,10 @@ class SMatch:
             fn=enroll_chunk,
             context=self._enroll_spec,
             label="scheme.enroll_population",
+            # process backends move the EncryptedProfile payloads through
+            # the shared-memory result arena (wire codec, lazy views)
+            # instead of the future-result pickle; other backends ignore it
+            shm_results=True,
         )
         for chunk_result in exec_backend.map_chunks(envelope, chunks):
             for user_id, payload, key in chunk_result:

@@ -72,31 +72,24 @@ class UploadMessage(Message):
     TAG = _TAG_UPLOAD
 
     def encode(self) -> bytes:
-        """Serialize to tagged, length-prefixed wire bytes."""
+        """Serialize to tagged, length-prefixed wire bytes.
+
+        The body is the profile's own field layout
+        (:meth:`EncryptedProfile.encode_fields` — the codec the shared-memory
+        result arena reuses), so the tagged message is byte-identical to the
+        historical inline encoding.
+        """
         w = FieldWriter()
         w.write_int(self.TAG)
-        w.write_int(self.payload.user_id)
-        w.write_bytes(self.payload.key_index)
-        w.write_int(len(self.payload.chain))
-        for ct in self.payload.chain:
-            w.write_int(ct)
-        _encode_auth(w, self.payload.auth)
+        self.payload.encode_fields(w)
         return w.getvalue()
 
     @classmethod
     def decode_fields(cls, reader: FieldReader) -> "UploadMessage":
         """Decode the message body from a field reader."""
-        user_id = reader.read_int()
-        key_index = reader.read_bytes()
-        count = reader.read_int()
-        chain = tuple(reader.read_int() for _ in range(count))
-        auth = _decode_auth(reader)
+        payload = EncryptedProfile.decode_fields(reader)
         reader.expect_end()
-        return cls(
-            payload=EncryptedProfile(
-                user_id=user_id, key_index=key_index, chain=chain, auth=auth
-            )
-        )
+        return cls(payload=payload)
 
 
 @dataclass(frozen=True)

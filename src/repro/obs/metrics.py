@@ -149,6 +149,23 @@ M_PARALLEL_WORKER_RESTARTS = _metric(
 M_PARALLEL_QUEUE_DEPTH = _metric(
     "smatch_parallel_queue_depth", "in-flight chunks on the pool"
 )
+# shared-memory result transport (repro.parallel.arena).  These measure the
+# *transport mechanism*, not the work: they are non-zero only when the
+# process backend moves results through the shm arena, so — like
+# smatch_obs_worker_spans_total — they are exempt from the cross-backend
+# counter-equality contract.
+M_PARALLEL_SHM_BYTES = _metric(
+    "smatch_parallel_shm_bytes_total",
+    "wire-codec bytes written into shared-memory result arenas",
+)
+M_PARALLEL_SHM_FALLBACKS = _metric(
+    "smatch_parallel_shm_fallbacks_total",
+    "arena records that fell back to pickle (no codec or slot full)",
+)
+M_PARALLEL_SHM_OCCUPANCY = _metric(
+    "smatch_parallel_shm_occupancy_bytes",
+    "high-water bytes used in any one arena slot (sizing signal)",
+)
 # telemetry collection itself (repro.parallel.backend splicing); named under
 # smatch_obs_ on purpose: smatch_parallel_* totals measure the *work* and
 # must be backend-invariant, while this one counts the collection mechanism

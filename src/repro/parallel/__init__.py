@@ -1,10 +1,21 @@
 """Pluggable execution backends for CPU-bound bulk work.
 
 See :mod:`repro.parallel.backend` for the backend protocol and the three
-implementations, and :mod:`repro.parallel.tasks` for the picklable task
-envelopes wired into the enrollment / OPRF / matching hot paths.
+implementations, :mod:`repro.parallel.tasks` for the picklable task
+envelopes wired into the enrollment / OPRF / matching hot paths, and
+:mod:`repro.parallel.arena` for the shared-memory result transport the
+process backend uses to move wire-encodable results without pickling them.
 """
 
+from repro.parallel.arena import (
+    ArenaWriter,
+    ContextHandle,
+    ContextSegment,
+    LazyWireRecord,
+    ResultArena,
+    ShmContext,
+    register_wire_codec,
+)
 from repro.parallel.backend import (
     BACKEND_NAMES,
     ExecutionBackend,
@@ -27,9 +38,16 @@ from repro.parallel.tasks import (
 )
 
 __all__ = [
+    "ArenaWriter",
     "BACKEND_NAMES",
     "BulkMatchContext",
+    "ContextHandle",
+    "ContextSegment",
     "EnrollSpec",
+    "LazyWireRecord",
+    "ResultArena",
+    "ShmContext",
+    "register_wire_codec",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",

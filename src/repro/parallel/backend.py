@@ -77,6 +77,15 @@ except ImportError:  # pragma: no cover - Python < 3.8 is unsupported anyway
         return cls
 
 from repro.errors import ParallelError, ParameterError, WorkerCrashError
+from repro.parallel.arena import (
+    DEFAULT_SLOT_BYTES,
+    ArenaWriter,
+    ContextHandle,
+    ContextSegment,
+    ResultArena,
+    ShmContext,
+    SlotDescriptor,
+)
 from repro.obs.metrics import (
     M_OBS_WORKER_SPANS,
     M_PARALLEL_CHUNKS,
@@ -134,12 +143,19 @@ class TaskEnvelope:
     per-chunk tracer would dominate; ``True`` forces worker-side capture
     regardless, for harnesses that collect the payloads themselves (the
     parent still splices/merges only what its own activation can absorb).
+
+    ``shm_results`` declares that ``fn`` accepts a third argument — an
+    :class:`~repro.parallel.arena.ArenaWriter` (or ``None``) — and will
+    route wire-encodable results through the shared-memory result arena
+    when a :class:`ProcessBackend` offers one.  Serial and thread backends
+    (same address space, nothing to transport) always pass no writer.
     """
 
     fn: TaskFn
     context: Any = None
     label: str = "task"
     obs: Optional[bool] = None
+    shm_results: bool = False
 
 
 def partition_chunks(
@@ -182,6 +198,25 @@ def _note_batch(num_chunks: int, num_tasks: int) -> None:
     metric_inc(M_PARALLEL_TASKS, num_tasks)
 
 
+def _apply(
+    fn: TaskFn,
+    context: Any,
+    chunk: Sequence[Any],
+    writer: Optional[ArenaWriter],
+) -> Any:
+    """Run one chunk, sealing its arena slot after the task returns.
+
+    The seal is the slot's commit point: it runs only on success, so a
+    crashed or raising worker leaves the slot's previous generation visible
+    and the parent surfaces the failure instead of decoding a torn slot.
+    """
+    if writer is None:
+        return fn(context, chunk)
+    result = fn(context, chunk, writer)
+    writer.seal()
+    return result
+
+
 # -- worker-side telemetry capture ---------------------------------------------
 
 
@@ -211,6 +246,7 @@ def _run_traced(
     capture_spans: bool,
     capture_metrics: bool,
     kind: str,
+    writer: Optional[ArenaWriter] = None,
 ) -> _WorkerTelemetry:
     """Run one chunk under worker-local telemetry and wrap the result.
 
@@ -235,10 +271,10 @@ def _run_traced(
     try:
         if capture_spans:
             with tracing("parallel.chunk", label=label, chunk=index) as tracer:
-                result = fn(context, chunk)
+                result = _apply(fn, context, chunk, writer)
             spans: Optional[List[Dict[str, Any]]] = tracer.span_records()
         else:
-            result = fn(context, chunk)
+            result = _apply(fn, context, chunk, writer)
             spans = None
     finally:
         if capture_metrics:
@@ -359,11 +395,28 @@ class _PooledBackend:
         index: int,
         capture_spans: bool,
         capture_metrics: bool,
+        arena: Optional[ResultArena],
     ) -> "Future[Any]":
         raise NotImplementedError
 
     def _discard_pool(self) -> None:
         raise NotImplementedError
+
+    def _begin_batch(
+        self, envelope: TaskEnvelope, num_chunks: int
+    ) -> Optional[ResultArena]:
+        """Per-batch transport state; only :class:`ProcessBackend` has any."""
+        return None
+
+    def _absorb(
+        self,
+        payload: Any,
+        envelope: TaskEnvelope,
+        arena: Optional[ResultArena],
+        index: int,
+    ) -> Any:
+        """Unwrap one collected result (telemetry splice + arena resolve)."""
+        return _absorb_result(payload)
 
     def _captures_metrics(self) -> bool:
         """Whether this backend's workers need a local metrics registry.
@@ -410,6 +463,26 @@ class _PooledBackend:
     ) -> List[Any]:
         pool = self._pool_for(envelope)
         capture_spans, capture_metrics = self._telemetry_plan(envelope)
+        arena = self._begin_batch(envelope, len(chunks))
+        try:
+            return self._collect_into(
+                pool, envelope, chunks, capture_spans, capture_metrics, arena
+            )
+        finally:
+            # always unlink the batch segment — also on the WorkerCrashError
+            # path, so a dead worker can never leak shared memory
+            if arena is not None:
+                arena.close()
+
+    def _collect_into(
+        self,
+        pool: Any,
+        envelope: TaskEnvelope,
+        chunks: List[Sequence[Any]],
+        capture_spans: bool,
+        capture_metrics: bool,
+        arena: Optional[ResultArena],
+    ) -> List[Any]:
         results: List[Any] = [None] * len(chunks)
         pending: Deque[Tuple[int, "Future[Any]"]] = deque()
         next_index = 0
@@ -428,6 +501,7 @@ class _PooledBackend:
                         index,
                         capture_spans,
                         capture_metrics,
+                        arena,
                     ),
                 )
             )
@@ -438,7 +512,9 @@ class _PooledBackend:
         while pending:
             index, future = pending.popleft()
             try:
-                results[index] = _absorb_result(future.result())
+                results[index] = self._absorb(
+                    future.result(), envelope, arena, index
+                )
             except BrokenProcessPool as exc:
                 # the pool is unusable: drop it (the next map_chunks call
                 # restarts fresh workers) and surface a typed error instead
@@ -501,6 +577,7 @@ class ThreadBackend(_PooledBackend):
         index: int,
         capture_spans: bool,
         capture_metrics: bool,
+        arena: Optional[ResultArena],
     ) -> "Future[Any]":
         if capture_spans or capture_metrics:
             return pool.submit(
@@ -529,14 +606,25 @@ _WORKER_CONTEXT: Any = None
 
 
 def _initialize_worker(context: Any) -> None:
-    """Pool initializer: cache the envelope context in this worker process."""
+    """Pool initializer: cache the envelope context in this worker process.
+
+    A :class:`~repro.parallel.arena.ContextHandle` is resolved here — once,
+    at warm start — so a shared-segment context (e.g. the matcher's frozen
+    ``BulkMatchContext``) is decoded exactly once per worker and every
+    chunk then reuses the decoded object.
+    """
     global _WORKER_CONTEXT
+    if isinstance(context, ContextHandle):
+        context = context.load()
     _WORKER_CONTEXT = context
 
 
-def _run_chunk(fn: TaskFn, chunk: Sequence[Any]) -> Any:
+def _run_chunk(
+    fn: TaskFn, chunk: Sequence[Any], desc: Optional[SlotDescriptor] = None
+) -> Any:
     """Worker-side trampoline: apply the task to the warm-started context."""
-    return fn(_WORKER_CONTEXT, chunk)
+    writer = ArenaWriter(desc) if desc is not None else None
+    return _apply(fn, _WORKER_CONTEXT, chunk, writer)
 
 
 def _run_chunk_traced(
@@ -546,6 +634,7 @@ def _run_chunk_traced(
     index: int,
     capture_spans: bool,
     capture_metrics: bool,
+    desc: Optional[SlotDescriptor] = None,
 ) -> _WorkerTelemetry:
     """Trampoline for traced chunks: warm context + worker-local telemetry."""
     return _run_traced(
@@ -557,6 +646,7 @@ def _run_chunk_traced(
         capture_spans,
         capture_metrics,
         "process",
+        ArenaWriter(desc) if desc is not None else None,
     )
 
 
@@ -568,6 +658,14 @@ class ProcessBackend(_PooledBackend):
     function reference and the chunk items.  The pool is kept warm across
     ``map_chunks`` calls that reuse the *same* context object, so repeated
     batches against one key/scheme pay pool start-up once.
+
+    Results of envelopes marked ``shm_results`` move through a per-batch
+    shared-memory :class:`~repro.parallel.arena.ResultArena` instead of the
+    future-result pickle: workers wire-encode each record once, the parent
+    returns lazy decode-on-access views.  ``shm=False`` (or the
+    ``SMATCH_SHM=0`` environment variable) forces the plain pickle
+    transport; ``shm_slot_bytes`` sizes each arena slot (records that
+    overflow fall back to pickle per record).
     """
 
     name = "process"
@@ -577,17 +675,43 @@ class ProcessBackend(_PooledBackend):
         workers: Optional[int] = None,
         max_inflight: Optional[int] = None,
         mp_context: Optional[str] = None,
+        shm: Optional[bool] = None,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
     ) -> None:
         super().__init__(_default_workers(workers), max_inflight)
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_context: Any = None
+        self._context_segment: Optional[ContextSegment] = None
+        if shm is None:
+            shm = os.environ.get("SMATCH_SHM", "").strip() != "0"
+        if shm_slot_bytes < 64:
+            raise ParameterError("shm_slot_bytes must be >= 64")
+        self._shm = bool(shm)
+        self._shm_slot_bytes = shm_slot_bytes
+
+    @property
+    def shm_enabled(self) -> bool:
+        """Whether this backend moves eligible work through shared memory."""
+        return self._shm
 
     def _pool_for(self, envelope: TaskEnvelope) -> ProcessPoolExecutor:
         if self._pool is not None and self._pool_context is envelope.context:
             return self._pool
         self._discard_pool()
         self._check_picklable(envelope)
+        init_context = envelope.context
+        if isinstance(init_context, ShmContext):
+            if self._shm:
+                # the backend owns the segment so its lifetime matches the
+                # pool's: ProcessPoolExecutor spawns workers lazily, and a
+                # late-starting worker must still find the segment to attach
+                self._context_segment = ContextSegment.create(
+                    init_context.value
+                )
+                init_context = self._context_segment.handle()
+            else:
+                init_context = init_context.value
         mp_ctx = None
         if self._mp_context is not None:
             import multiprocessing
@@ -596,7 +720,7 @@ class ProcessBackend(_PooledBackend):
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_initialize_worker,
-            initargs=(envelope.context,),
+            initargs=(init_context,),
             mp_context=mp_ctx,
         )
         # hold a strong reference so `is` identity can't be recycled
@@ -619,6 +743,32 @@ class ProcessBackend(_PooledBackend):
     def _captures_metrics(self) -> bool:
         return True
 
+    def _begin_batch(
+        self, envelope: TaskEnvelope, num_chunks: int
+    ) -> Optional[ResultArena]:
+        if not (self._shm and envelope.shm_results and num_chunks):
+            return None
+        # one ring slot per possible in-flight chunk: ordered collection
+        # frees a ring position before any writer can revisit it
+        return ResultArena(
+            slots=min(self._max_inflight, num_chunks),
+            slot_bytes=self._shm_slot_bytes,
+        )
+
+    def _absorb(
+        self,
+        payload: Any,
+        envelope: TaskEnvelope,
+        arena: Optional[ResultArena],
+        index: int,
+    ) -> Any:
+        value = _absorb_result(payload)
+        if arena is not None:
+            value = arena.resolve(
+                value, arena.slot_descriptor(index), envelope.label
+            )
+        return value
+
     def _submit(
         self,
         pool: ProcessPoolExecutor,
@@ -627,7 +777,9 @@ class ProcessBackend(_PooledBackend):
         index: int,
         capture_spans: bool,
         capture_metrics: bool,
+        arena: Optional[ResultArena],
     ) -> "Future[Any]":
+        desc = arena.slot_descriptor(index) if arena is not None else None
         if capture_spans or capture_metrics:
             return pool.submit(
                 _run_chunk_traced,
@@ -637,14 +789,18 @@ class ProcessBackend(_PooledBackend):
                 index,
                 capture_spans,
                 capture_metrics,
+                desc,
             )
-        return pool.submit(_run_chunk, envelope.fn, chunk)
+        return pool.submit(_run_chunk, envelope.fn, chunk, desc)
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
             self._pool_context = None
+        if self._context_segment is not None:
+            self._context_segment.close()
+            self._context_segment = None
 
 
 # -- name resolution and the process-wide default ------------------------------

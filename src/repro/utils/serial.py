@@ -13,42 +13,76 @@ from typing import List
 
 from repro.errors import ProtocolError
 
-__all__ = ["FieldWriter", "FieldReader"]
+__all__ = ["FieldWriter", "FieldReader", "LENGTH_PREFIX"]
 
 _LEN = struct.Struct(">I")
 
+#: The length-prefix layout every field shares.  Exported for codecs that
+#: hand-pack a hot-path layout (e.g. ``EncryptedProfile.to_wire_bytes``,
+#: which the shared-memory result arena encodes once per record); such
+#: codecs stay byte-identical to the :class:`FieldWriter` path by pinning
+#: equality in tests.
+LENGTH_PREFIX = _LEN
+
 
 class FieldWriter:
-    """Accumulates length-prefixed fields into a byte string."""
+    """Accumulates length-prefixed fields into a byte string.
+
+    This codec sits on the hot path of the shared-memory result arena
+    (every record is wire-encoded exactly once, in the worker), so the
+    write methods fuse the prefix and payload into a single list append
+    and track the accumulated size incrementally instead of re-summing.
+    The byte layout is unchanged.
+    """
 
     def __init__(self) -> None:
         self._parts: List[bytes] = []
+        self._size = 0
 
     def write_bytes(self, data: bytes) -> "FieldWriter":
         """Append one length-prefixed byte field."""
-        if len(data) > 0xFFFFFFFF:
+        if type(data) is not bytes:
+            data = bytes(data)
+        length = len(data)
+        if length > 0xFFFFFFFF:
             raise ProtocolError("field too large")
-        self._parts.append(_LEN.pack(len(data)))
-        self._parts.append(bytes(data))
+        self._parts.append(_LEN.pack(length) + data)
+        self._size += _LEN.size + length
         return self
 
     def write_int(self, value: int) -> "FieldWriter":
         """Append an unsigned integer field (minimal big-endian)."""
         if value < 0:
             raise ProtocolError("wire integers are unsigned")
-        length = max(1, (value.bit_length() + 7) // 8)
-        return self.write_bytes(value.to_bytes(length, "big"))
+        length = (value.bit_length() + 7) // 8 or 1
+        self._parts.append(_LEN.pack(length) + value.to_bytes(length, "big"))
+        self._size += _LEN.size + length
+        return self
 
     def write_str(self, text: str) -> "FieldWriter":
         """Append a UTF-8 string field."""
         return self.write_bytes(text.encode("utf-8"))
+
+    def write_raw_fields(self, data: bytes) -> "FieldWriter":
+        """Splice an already field-encoded byte sequence in verbatim.
+
+        ``data`` must itself be a field sequence produced by another
+        writer — it is appended without a length prefix of its own.  This
+        is the serialize-once path for values whose wire encoding is
+        already in hand (e.g. an undecoded shared-memory arena record).
+        """
+        if type(data) is not bytes:
+            data = bytes(data)
+        self._parts.append(data)
+        self._size += len(data)
+        return self
 
     def getvalue(self) -> bytes:
         """The accumulated wire bytes."""
         return b"".join(self._parts)
 
     def __len__(self) -> int:
-        return sum(len(p) for p in self._parts)
+        return self._size
 
 
 class FieldReader:

@@ -69,6 +69,30 @@ class TestOprf:
         )
         assert client.evaluate(b"m", server) == server.unblinded_evaluate(b"m")
 
+    def test_blind_batch_matches_sequential_blinding(self, server):
+        # the batched path must draw blinding factors in the same order a
+        # per-message loop would, so a seeded client is batch-invariant
+        messages = [bytes([i]) * 4 for i in range(7)]
+        sequential = RsaOprfClient(
+            server.public_key, rng=SystemRandomSource(seed=12)
+        )
+        batched = RsaOprfClient(
+            server.public_key, rng=SystemRandomSource(seed=12)
+        )
+        states = batched.blind_batch(messages)
+        assert states == [sequential.blind(m) for m in messages]
+        for state, message in zip(states, messages):
+            response = server.evaluate_blinded(state.blinded)
+            assert batched.finalize(
+                state, response
+            ) == server.unblinded_evaluate(message)
+
+    def test_blind_batch_empty(self, server):
+        client = RsaOprfClient(
+            server.public_key, rng=SystemRandomSource(seed=13)
+        )
+        assert client.blind_batch([]) == []
+
     def test_different_inputs_differ(self, server):
         client = RsaOprfClient(
             server.public_key, rng=SystemRandomSource(seed=12)

@@ -115,8 +115,20 @@ class TestEnrollmentEquivalence:
         self, profiles, serial_result, workers, chunk_size
     ):
         with ProcessBackend(workers, mp_context="fork") as backend:
+            assert backend.shm_enabled  # arena transport is the default
             result = _scheme().enroll_population(
                 profiles, backend=backend, seed=77, chunk_size=chunk_size
+            )
+        _assert_same(serial_result, result)
+
+    def test_process_backend_matches_serial_without_shm(
+        self, profiles, serial_result
+    ):
+        # same batch with the arena transport forced off: byte-identical
+        # either way, so the transport is pure mechanism
+        with ProcessBackend(2, mp_context="fork", shm=False) as backend:
+            result = _scheme().enroll_population(
+                profiles, backend=backend, seed=77, chunk_size=2
             )
         _assert_same(serial_result, result)
 
@@ -237,6 +249,16 @@ class TestQueryBulk:
                 users, 3, backend=backend, chunk_size=chunk_size
             )
         assert serial == threaded == processed
+
+    def test_bulk_identical_without_shm_context(self, server_and_users):
+        # the shared-segment context shipping is mechanism only: forcing
+        # the per-worker pickle path changes nothing about the results
+        server, users = server_and_users
+        serial = server.matcher.query_bulk(users, 3, backend="serial")
+        with ProcessBackend(2, mp_context="fork", shm=False) as backend:
+            assert (
+                server.matcher.query_bulk(users, 3, backend=backend) == serial
+            )
 
     def test_unknown_user_rejected_up_front(self, server_and_users):
         from repro.errors import MatchingError
@@ -399,6 +421,10 @@ class TestTelemetryEquivalence:
     """
 
     _WORK_PREFIXES = ("smatch_parallel_", "smatch_ope_cache_", "smatch_enroll_")
+    #: transport-mechanism counters: like smatch_obs_worker_spans_total,
+    #: the shared-memory arena tallies measure how results *moved*, not the
+    #: work itself, so they legitimately exist only on the process backend
+    _MECHANISM_PREFIXES = ("smatch_parallel_shm_",)
 
     @classmethod
     def _work_counters(cls, counters):
@@ -406,6 +432,7 @@ class TestTelemetryEquivalence:
             name: value
             for name, value in counters.items()
             if name.startswith(cls._WORK_PREFIXES)
+            and not name.startswith(cls._MECHANISM_PREFIXES)
         }
 
     @pytest.fixture(scope="class")

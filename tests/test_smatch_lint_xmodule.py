@@ -321,6 +321,33 @@ class TestProcessBoundaryRule:
         assert codes(found) == ["SML010"]
         assert "__getstate__" in found[0].message or "pickling" in found[0].message
 
+    def test_arena_put_record_of_secret_fires(self):
+        # the result arena is shared memory: writing a raw secret into a
+        # slot publishes it to every process attached to the segment
+        src = """
+            def emit(arena, session_key):
+                return arena.put_record(session_key)
+        """
+        found = check(src)
+        assert codes(found) == ["SML010"]
+        assert "process boundary" in found[0].message
+
+    def test_arena_put_record_of_sealed_value_is_clean(self):
+        src = """
+            def emit(arena, session_key):
+                sealed_payload = seal(session_key)
+                return arena.put_record(sealed_payload)
+        """
+        assert check(src) == []
+
+    def test_arena_put_record_of_blinded_output_is_clean(self):
+        src = """
+            def emit(arena, oprf, blinded_value):
+                evaluated = oprf.evaluate_blinded(blinded_value)
+                return arena.put_record(evaluated)
+        """
+        assert check(src) == []
+
     def test_sealed_context_is_clean(self):
         src = """
             def fan_out(backend, session_key, items):

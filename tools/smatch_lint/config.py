@@ -209,13 +209,16 @@ class LintConfig:
 
     #: Calls whose arguments are serialized across a process boundary:
     #: ``pickle.dumps``/``dump``, task-envelope constructors, pool
-    #: ``submit``, and shared-memory segments.
+    #: ``submit``, shared-memory segments, and the result arena's write
+    #: API (``put_record`` copies the encoded value into a segment any
+    #: process attached to the arena can read).
     boundary_sink_calls: Tuple[str, ...] = (
         "dumps",
         "dump",
         "TaskEnvelope",
         "SharedMemory",
         "ShareableList",
+        "put_record",
     )
 
     #: Keyword arguments that ship their value into worker processes even
