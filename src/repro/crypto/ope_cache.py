@@ -84,7 +84,8 @@ class OpeNodeCache:
         self._flushed_evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- hot path ----------------------------------------------------------------
 

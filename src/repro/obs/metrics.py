@@ -320,6 +320,39 @@ class MetricsRegistry:
                 )
             return metric
 
+    # -- locked mutation -------------------------------------------------------
+    #
+    # ``registry.counter(name).inc(n)`` takes the lock for the lookup but
+    # mutates the returned metric *after* releasing it, so two threads can
+    # interleave the read-modify-write and lose increments.  These methods
+    # keep the whole get-or-create-and-mutate step under the registry lock
+    # and are what the module-level helpers route through; the bare
+    # accessors above remain for single-threaded construction and reads.
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically increment the counter named ``name``."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            metric.inc(amount)
+
+    def set_gauge(self, name: str, value: int) -> None:
+        """Atomically set the gauge named ``name``."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            metric.set(value)
+
+    def observe(
+        self, name: str, value: int, buckets: Sequence[int] = BYTE_BUCKETS
+    ) -> None:
+        """Atomically observe ``value`` into the histogram named ``name``."""
+        metric = self.histogram(name, buckets)
+        with self._lock:
+            metric.observe(value)
+
     # -- exports ---------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
@@ -453,14 +486,14 @@ def metric_inc(name: str, amount: int = 1) -> None:
     """Increment a counter on the active registry (no-op when inactive)."""
     registry = _active
     if registry is not None:
-        registry.counter(name).inc(amount)
+        registry.inc(name, amount)
 
 
 def metric_set(name: str, value: int) -> None:
     """Set a gauge on the active registry (no-op when inactive)."""
     registry = _active
     if registry is not None:
-        registry.gauge(name).set(value)
+        registry.set_gauge(name, value)
 
 
 def metric_observe(
@@ -469,4 +502,4 @@ def metric_observe(
     """Observe into a histogram on the active registry (no-op when inactive)."""
     registry = _active
     if registry is not None:
-        registry.histogram(name, buckets).observe(value)
+        registry.observe(name, value, buckets)

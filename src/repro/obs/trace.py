@@ -149,13 +149,18 @@ class Tracer:
     """Owns one trace: a root span and the thread-local span stack."""
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        # reentrant: splice() holds it while constructing Spans, and each
+        # Span.__init__ re-enters through _next_id for its id; the lock
+        # must exist before the root Span below draws the first id
+        self._lock = threading.RLock()
         self._ids = 0
         self._stack: List[Span] = []
         self.root = Span(self, name, dict(attrs or {}))
 
     def _next_id(self) -> int:
-        self._ids += 1
-        return self._ids
+        with self._lock:
+            self._ids += 1
+            return self._ids
 
     # -- queries ---------------------------------------------------------------
 
@@ -236,6 +241,21 @@ class Tracer:
         truthful across the fan-out boundary.
 
         Returns the grafted root spans.
+        """
+        with self._lock:
+            return self._splice_locked(records, parent, attrs)
+
+    def _splice_locked(
+        self,
+        records: List[Dict[str, Any]],
+        parent: Optional[Span],
+        attrs: Optional[Dict[str, Any]],
+    ) -> List[Span]:
+        """:meth:`splice` body; the tracer lock is held by the caller.
+
+        Pool threads splice their workers' telemetry concurrently into one
+        coordinator trace — without the lock, two splices appending to the
+        same parent interleave children and lose op-count folds.
         """
         if parent is None:
             parent = self._stack[-1] if self._stack else self.root

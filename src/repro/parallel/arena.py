@@ -43,6 +43,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 from multiprocessing import shared_memory
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -92,6 +93,10 @@ _PICKLE_TAG_ID = 0
 
 _ENCODERS: Dict[type, Tuple[int, Callable[[Any], bytes]]] = {}
 _DECODERS: Dict[int, Callable[[bytes], Any]] = {}
+#: guards the codec tables: registration happens at import time in the
+#: common case, but thread backends may trigger lazy registering imports
+#: from pool threads, and the check-then-insert below must be atomic
+_codec_lock = threading.Lock()
 
 
 def register_wire_codec(
@@ -114,15 +119,16 @@ def register_wire_codec(
     """
     if not 1 <= tag_id <= 0xFF:
         raise ParameterError("codec tag must be in 1..255 (0 is pickle)")
-    registered = _ENCODERS.get(cls)
-    if registered is not None and registered[0] != tag_id:
-        raise ParameterError(
-            f"{cls.__name__} already registered under tag {registered[0]}"
-        )
-    if tag_id in _DECODERS and registered is None:
-        raise ParameterError(f"codec tag {tag_id} already taken")
-    _ENCODERS[cls] = (tag_id, encode)
-    _DECODERS[tag_id] = decode
+    with _codec_lock:
+        registered = _ENCODERS.get(cls)
+        if registered is not None and registered[0] != tag_id:
+            raise ParameterError(
+                f"{cls.__name__} already registered under tag {registered[0]}"
+            )
+        if tag_id in _DECODERS and registered is None:
+            raise ParameterError(f"codec tag {tag_id} already taken")
+        _ENCODERS[cls] = (tag_id, encode)
+        _DECODERS[tag_id] = decode
 
 
 def wire_codec_for(value: Any) -> Optional[Tuple[int, Callable[[Any], bytes]]]:
@@ -153,19 +159,24 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 #: single-entry cache keyed by segment name covers every chunk the worker
 #: runs without re-mmapping, and frees the previous batch's mapping.
 _ATTACH_CACHE: List[Tuple[str, shared_memory.SharedMemory]] = []
+#: guards the attach cache: process-pool workers are single-threaded, but
+#: the thread backend shares this module across its pool threads, and an
+#: unguarded pop/close would hand one thread a mapping another just freed
+_attach_lock = threading.Lock()
 
 
 def _attach_cached(name: str) -> shared_memory.SharedMemory:
-    if _ATTACH_CACHE and _ATTACH_CACHE[0][0] == name:
-        return _ATTACH_CACHE[0][1]
-    # the span wraps only a real mmap attach (once per batch per worker),
-    # not the cache hit every chunk takes
-    with span("arena.attach", segment=name):
-        shm = _attach(name)
-    if _ATTACH_CACHE:
-        _ATTACH_CACHE.pop()[1].close()
-    _ATTACH_CACHE.append((name, shm))
-    return shm
+    with _attach_lock:
+        if _ATTACH_CACHE and _ATTACH_CACHE[0][0] == name:
+            return _ATTACH_CACHE[0][1]
+        # the span wraps only a real mmap attach (once per batch per
+        # worker), not the cache hit every chunk takes
+        with span("arena.attach", segment=name):
+            shm = _attach(name)
+        if _ATTACH_CACHE:
+            _ATTACH_CACHE.pop()[1].close()
+        _ATTACH_CACHE.append((name, shm))
+        return shm
 
 
 # -- records and views -----------------------------------------------------------

@@ -616,7 +616,9 @@ def _initialize_worker(context: Any) -> None:
     global _WORKER_CONTEXT
     if isinstance(context, ContextHandle):
         context = context.load()
-    _WORKER_CONTEXT = context
+    # written exactly once per worker process by the pool initializer,
+    # strictly before any chunk runs, and workers are single-threaded
+    _WORKER_CONTEXT = context  # smatch-lint: disable=SML013 — initializer runs before any task
 
 
 def _run_chunk(
@@ -839,6 +841,9 @@ def resolve_backend(
 
 _default_backend: Optional[ExecutionBackend] = None
 _env_cache: Dict[str, ExecutionBackend] = {}
+#: guards ``_env_cache``: concurrent first calls to ``default_backend``
+#: from pool threads must not both resolve (and warm up) the same backend
+_backend_lock = threading.Lock()
 
 
 def set_default_backend(
@@ -865,7 +870,8 @@ def default_backend() -> Optional[ExecutionBackend]:
     name = os.environ.get(_ENV_VAR, "").strip().lower()
     if not name:
         return None
-    backend = _env_cache.get(name)
-    if backend is None:
-        backend = _env_cache[name] = resolve_backend(name)
-    return backend
+    with _backend_lock:
+        backend = _env_cache.get(name)
+        if backend is None:
+            backend = _env_cache[name] = resolve_backend(name)
+        return backend

@@ -637,9 +637,10 @@ class TestLiveTree:
         assert violations == [], "\n".join(v.render() for v in violations)
 
     def test_no_file_wide_suppressions_in_handlers(self):
-        # the acceptance bar for the taint rules: reviewed line-level
-        # waivers only — never a blanket file-level one in net/ or server/
-        for directory in ("net", "server"):
+        # the acceptance bar for the taint and concurrency rules: reviewed
+        # line-level waivers only — never a blanket file-level one in the
+        # boundary (net/, server/) or shared-state (parallel/, obs/) packages
+        for directory in ("net", "server", "parallel", "obs"):
             for path in (REPO_ROOT / "src" / "repro" / directory).rglob("*.py"):
                 assert "disable-file" not in path.read_text(encoding="utf-8"), path
 

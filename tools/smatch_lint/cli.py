@@ -63,6 +63,50 @@ def _taint_debug(paths: List[Path]) -> int:
                 )
     return 0
 
+def _lock_debug(paths: List[Path]) -> int:
+    """Dump per-class lockset facts and SML012–SML015 findings."""
+    import ast
+
+    from tools.smatch_lint import concurrency
+    from tools.smatch_lint.engine import _parse_directives, iter_python_files
+    from tools.smatch_lint.rules import RuleContext
+
+    cwd = Path.cwd()
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(cwd)
+        except ValueError:
+            rel = file_path
+        posix = rel.as_posix()
+        if not (
+            DEFAULT_CONFIG.is_concurrency_scope(posix)
+            or DEFAULT_CONFIG.is_parallel_scope(posix)
+        ):
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            print(f"{posix}: syntax error: {exc.msg}")
+            continue
+        _parse_directives(source, posix)
+        ctx = RuleContext(path=posix, config=DEFAULT_CONFIG)
+        module = concurrency.analyze_module(tree, ctx)
+        print(f"== {posix}")
+        for name in sorted(module.classes):
+            facts = module.classes[name]
+            locks = ", ".join(sorted(facts.lock_fields)) or "-"
+            guarded = ", ".join(sorted(facts.guarded_fields)) or "-"
+            helpers = ", ".join(sorted(facts.locked_helpers)) or "-"
+            print(
+                f"  class {name}: locks[{locks}] guarded[{guarded}] "
+                f"locked-helpers[{helpers}]"
+            )
+        for found in module.findings:
+            print(f"    {found.rule}@{found.line}:{found.col} {found.message}")
+    return 0
+
+
 __all__ = ["main", "build_parser"]
 
 
@@ -77,9 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits SARIF 2.1.0 "
+        "for GitHub code scanning",
     )
     parser.add_argument(
         "--select",
@@ -105,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--taint-debug",
         action="store_true",
         help="dump the SML007–SML009 taint flows per function and exit",
+    )
+    parser.add_argument(
+        "--lock-debug",
+        action="store_true",
+        help="dump the SML012–SML015 lockset facts per class and exit",
     )
     parser.add_argument(
         "--cache-dir",
@@ -158,6 +208,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.taint_debug:
         return _taint_debug(args.paths)
+    if args.lock_debug:
+        return _lock_debug(args.paths)
 
     try:
         selected = set(_parse_codes(args.select)) if args.select else set(RULE_CODES)
@@ -187,6 +239,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        from tools.smatch_lint.sarif import render_sarif
+
+        print(json.dumps(render_sarif(violations, files_checked), indent=2))
     else:
         for violation in violations:
             print(violation.render())

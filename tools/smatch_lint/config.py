@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import FrozenSet, Pattern, Tuple
+from typing import FrozenSet, Optional, Pattern, Tuple
 
 __all__ = ["LintConfig", "DEFAULT_CONFIG"]
 
@@ -57,6 +57,11 @@ _WIRE_MESSAGE_CTOR_RE = re.compile(
 #: Matched against whole underscore-delimited trailing segments, so
 #: ``enroll_chunk``, ``bulk_match_chunk``, and ``_initialize_worker`` hit.
 _PARALLEL_TASK_NAME_RE = re.compile(r"(?:^|_)(?:chunk|task|worker)s?$")
+
+#: Identifier segments that mark a name as a lock for SML012/SML014:
+#: ``_lock``, ``registry_lock``, ``mutex`` all hit.  Used for module-level
+#: lock globals and for attributes on objects of unknown classes.
+_LOCK_NAME_RE = re.compile(r"(?:^|_)(?:lock|locks|rlock|mutex)$", re.IGNORECASE)
 
 
 @dataclass(frozen=True)
@@ -269,6 +274,95 @@ class LintConfig:
     #: seed argument inside a task unit draws OS entropy per worker.
     seedable_source_ctors: Tuple[str, ...] = ("SystemRandomSource",)
 
+    # -- SML012–SML015: concurrency safety ------------------------------------------
+
+    #: Path fragments where the concurrency rules (SML012/014/015) apply:
+    #: the whole package — since PR 5 any layer may run under thread or
+    #: process pools, so lock discipline is not a parallel/-only concern.
+    concurrency_scope_fragments: Tuple[str, ...] = ("repro/",)
+
+    #: Lock-name heuristic (module-level lock globals, lock-ish attributes).
+    lock_name_re: Pattern[str] = field(default=_LOCK_NAME_RE)
+
+    #: Constructors whose result is a mutual-exclusion lock (SML012 infers
+    #: a class's lock fields from ``self.X = threading.Lock()`` assigns).
+    lock_ctor_names: Tuple[str, ...] = ("Lock", "RLock")
+
+    #: Constructors whose instances must never be captured into process-pool
+    #: ``initargs`` or task contexts (SML014): fork-inherited lock state is
+    #: the canonical pool deadlock, thread-locals and tracers are orphaned
+    #: copies in the child, and a live ``SharedMemory`` handle pickles its
+    #: *name*, silently detaching from the mapping it claims to hold.
+    unforkable_ctor_names: Tuple[str, ...] = (
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "local",
+        "Tracer",
+        "SharedMemory",
+    )
+
+    #: Method names that may block on another thread/process while called
+    #: (SML014 flags them inside a lock-held region — the held lock then
+    #: participates in any wait cycle).  Attribute calls only; ``str.join``
+    #: and friends are excluded by the non-constant-receiver check.
+    blocking_call_names: Tuple[str, ...] = (
+        "acquire",
+        "join",
+        "submit",
+        "map_chunks",
+        "result",
+        "recv",
+        "shutdown",
+    )
+
+    #: Constructors/displays of mutable containers for SML013's module-level
+    #: shared-state inference.
+    mutable_ctor_names: Tuple[str, ...] = (
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+    )
+
+    #: Method names that mutate their receiver in place (SML012/SML013
+    #: treat ``self.F.append(...)`` / ``CACHE.pop()`` as writes).
+    mutating_method_names: Tuple[str, ...] = (
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "remove",
+        "discard",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+    )
+
+    #: SML015 — resource constructors paired with the method that releases
+    #: them.  ``SharedMemory`` counts only when called with ``create=True``
+    #: (attaching is borrowing); ``ArenaWriter``'s release is its commit
+    #: point ``seal()`` (docs/PERFORMANCE.md §5 ownership protocol).
+    resource_release_methods: Tuple[Tuple[str, str], ...] = (
+        ("SharedMemory", "close"),
+        ("ResultArena", "close"),
+        ("ContextSegment", "close"),
+        ("ArenaWriter", "seal"),
+    )
+
     #: Per-path rule ignore sets: ``(path fragment, rule codes)`` pairs.
     #: Test code asserts on equality of freshly derived keys (that *is*
     #: the test) and seeds module-level randomness for reproducibility, so
@@ -358,6 +452,43 @@ class LintConfig:
     def is_parallel_task_name(self, name: str) -> bool:
         """True when a function name denotes a parallel task unit."""
         return bool(self.parallel_task_name_re.search(name))
+
+    # -- SML012–SML015 helpers ----------------------------------------------------
+
+    def is_concurrency_scope(self, posix_path: str) -> bool:
+        """True when SML012/SML014/SML015 apply to this file."""
+        return any(frag in posix_path for frag in self.concurrency_scope_fragments)
+
+    def is_lock_name(self, identifier: str) -> bool:
+        """True when an identifier plausibly names a lock (SML012/SML014)."""
+        return bool(self.lock_name_re.search(identifier))
+
+    def is_lock_ctor(self, name: str) -> bool:
+        """True when calling ``name`` constructs a lock (SML012)."""
+        return name in self.lock_ctor_names
+
+    def is_unforkable_ctor(self, name: str) -> bool:
+        """True when instances of ``name`` must not cross a fork (SML014)."""
+        return name in self.unforkable_ctor_names
+
+    def is_blocking_call(self, name: str) -> bool:
+        """True when method ``name`` may block on other workers (SML014)."""
+        return name in self.blocking_call_names
+
+    def is_mutable_ctor(self, name: str) -> bool:
+        """True when calling ``name`` builds a mutable container (SML013)."""
+        return name in self.mutable_ctor_names
+
+    def is_mutating_method(self, name: str) -> bool:
+        """True when method ``name`` mutates its receiver in place."""
+        return name in self.mutating_method_names
+
+    def resource_release_for(self, ctor: str) -> Optional[str]:
+        """The releasing method for resource constructor ``ctor`` (SML015)."""
+        for name, release in self.resource_release_methods:
+            if name == ctor:
+                return release
+        return None
 
     def ignored_rules_for_path(self, posix_path: str) -> FrozenSet[str]:
         """Rule codes switched off for this path (test-specific set)."""

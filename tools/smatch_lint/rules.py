@@ -1,4 +1,4 @@
-"""The nine smatch-lint rules.
+"""The fifteen smatch-lint rules.
 
 Each rule is a class with a ``code``, a one-line summary (the first docstring
 line, shown by ``--list-rules``), and a ``check`` method yielding
@@ -14,7 +14,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
 
-from tools.smatch_lint import taint
+from tools.smatch_lint import concurrency, taint
 from tools.smatch_lint.config import LintConfig
 
 __all__ = ["RuleContext", "Rule", "RULES", "RULE_CODES"]
@@ -693,6 +693,52 @@ class ParallelDeterminismRule(Rule):
                 yield from self._iter_findings(node, ctx)
 
 
+class _ConcurrencyRule(Rule):
+    """Base for SML012–SML015: one shared lockset pass, filtered per rule.
+
+    Mirrors :class:`_TaintRule` — :func:`concurrency.analyze_module` runs
+    once per file (memoized through ``ctx.cache``) and each rule picks the
+    findings tagged with its code.
+    """
+
+    def in_scope(self, ctx: RuleContext) -> bool:
+        return ctx.config.is_concurrency_scope(ctx.path)
+
+    def check(self, tree: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        if not self.in_scope(ctx):
+            return
+        for found in concurrency.analyze_module(tree, ctx).findings:
+            if found.rule == self.code:
+                yield (found.line, found.col, found.message)
+
+
+class LockDisciplineRule(_ConcurrencyRule):
+    """SML012: lock-guarded fields accessed without holding the lock."""
+
+    code = "SML012"
+
+
+class TaskEscapeRule(_ConcurrencyRule):
+    """SML013: module-level mutable state mutated unguarded in the parallel layer."""
+
+    code = "SML013"
+
+    def in_scope(self, ctx: RuleContext) -> bool:
+        return ctx.config.is_parallel_scope(ctx.path)
+
+
+class ForkHazardRule(_ConcurrencyRule):
+    """SML014: unforkable captures into pool initargs and blocking calls under a lock."""
+
+    code = "SML014"
+
+
+class ShmLifecycleRule(_ConcurrencyRule):
+    """SML015: shared-memory segments must close() on all paths; attachers never unlink."""
+
+    code = "SML015"
+
+
 RULES: Tuple[Type[Rule], ...] = (
     RandomImportRule,
     SecretEqualityRule,
@@ -705,6 +751,10 @@ RULES: Tuple[Type[Rule], ...] = (
     TaintSizeRule,
     ProcessBoundaryRule,
     ParallelDeterminismRule,
+    LockDisciplineRule,
+    TaskEscapeRule,
+    ForkHazardRule,
+    ShmLifecycleRule,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)

@@ -1,0 +1,104 @@
+"""SARIF 2.1.0 rendering of smatch-lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the lint run as a SARIF artifact turns every
+finding into an inline PR annotation with the rule's description attached.
+The document shape here is the minimal conforming subset — one ``run``
+with a ``tool.driver`` carrying the rule inventory and one ``result`` per
+violation — deliberately kept parallel to the ``--format json`` payload so
+the two stay round-trippable (see ``tests/test_smatch_lint_concurrency``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from tools.smatch_lint.engine import Violation
+from tools.smatch_lint.rules import RULES
+
+__all__ = ["render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SML000 marks directive problems (unknown codes, stale waivers) — linter
+#: hygiene rather than a defect in the scanned code
+_NOTE_LEVEL_CODES = frozenset({"SML000"})
+
+
+def _rule_inventory() -> List[Dict[str, object]]:
+    rules: List[Dict[str, object]] = [
+        {
+            "id": "SML000",
+            "name": "DirectiveHygiene",
+            "shortDescription": {
+                "text": "suppression directives must be well-formed and in use"
+            },
+        }
+    ]
+    for rule in RULES:
+        rules.append(
+            {
+                "id": rule.code,
+                "name": rule.__name__,
+                "shortDescription": {"text": rule.summary()},
+            }
+        )
+    return rules
+
+
+def _rule_index() -> Dict[str, int]:
+    return {
+        str(entry["id"]): idx for idx, entry in enumerate(_rule_inventory())
+    }
+
+
+def render_sarif(
+    violations: Sequence[Violation], files_checked: int
+) -> Dict[str, object]:
+    """The full SARIF document for one lint run (JSON-serializable)."""
+    index = _rule_index()
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        result: Dict[str, object] = {
+            "ruleId": violation.code,
+            "level": "note" if violation.code in _NOTE_LEVEL_CODES else "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": violation.line,
+                            "startColumn": violation.col,
+                        },
+                    }
+                }
+            ],
+        }
+        rule_idx = index.get(violation.code)
+        if rule_idx is not None:
+            result["ruleIndex"] = rule_idx
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "smatch-lint",
+                        "rules": _rule_inventory(),
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
+    }

@@ -22,7 +22,9 @@ from typing import Dict, FrozenSet, Optional, Union
 
 from tools.smatch_lint.config import LintConfig
 from tools.smatch_lint.modgraph import ImportBinding, ModuleNode, Program
+from tools.smatch_lint import concurrency as concurrency_mod
 from tools.smatch_lint import taint
+from tools.smatch_lint.concurrency import ClassConcurrency
 from tools.smatch_lint.taint import ClassSummary, FunctionSummary, ModuleTaint
 
 __all__ = [
@@ -51,6 +53,8 @@ class ModuleSummary:
     #: ProfileKey`` in a package ``__init__`` makes ``pkg.ProfileKey``
     #: resolve through here
     reexports: Dict[str, ImportBinding] = field(default_factory=dict)
+    #: per-class lockset facts (SML012 cross-module application)
+    concurrency: Dict[str, ClassConcurrency] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly form for the on-disk summary cache."""
@@ -61,6 +65,9 @@ class ModuleSummary:
             "classes": {n: c.as_dict() for n, c in sorted(self.classes.items())},
             "reexports": {
                 n: [b.module, b.attr] for n, b in sorted(self.reexports.items())
+            },
+            "concurrency": {
+                n: c.as_dict() for n, c in sorted(self.concurrency.items())
             },
         }
 
@@ -79,6 +86,11 @@ class ModuleSummary:
                 n: ImportBinding(module=m, attr=a)
                 for n, (m, a) in data["reexports"].items()  # type: ignore[union-attr]
             },
+            concurrency={
+                n: ClassConcurrency.from_dict(n, c)
+                # tolerate summaries written before the lockset pass
+                for n, c in data.get("concurrency", {}).items()  # type: ignore[union-attr]
+            },
         )
 
 
@@ -94,6 +106,52 @@ class ImportEnv:
         self._bindings = node.bindings
         self._program = program
         self._summaries = summaries
+
+    def resolve_class_facts(self, chain: tuple) -> Optional[ClassConcurrency]:
+        """The lockset facts of the class a name chain targets, if any.
+
+        The concurrency pass duck-types this through ``ctx.imports`` (no
+        import cycle: this module imports concurrency, not vice versa).
+        """
+        for split in range(len(chain) - 1 if len(chain) > 1 else 1, 0, -1):
+            key = ".".join(chain[:split])
+            binding = self._bindings.get(key)
+            if binding is None:
+                continue
+            attrs = tuple(chain[split:])
+            if binding.attr is not None:
+                attrs = (binding.attr,) + attrs
+            facts = self._lookup_facts(binding.module, attrs, 0)
+            if facts is not None:
+                return facts
+        return None
+
+    def _lookup_facts(
+        self, module: str, attrs: tuple, depth: int
+    ) -> Optional[ClassConcurrency]:
+        """Class-facts twin of :meth:`_lookup` (same re-export chasing)."""
+        if not attrs or depth > _MAX_REEXPORT_DEPTH:
+            return None
+        submodule = f"{module}.{attrs[0]}"
+        if submodule in self._program.modules and len(attrs) > 1:
+            facts = self._lookup_facts(submodule, attrs[1:], depth + 1)
+            if facts is not None:
+                return facts
+        summary = self._summaries.get(module)
+        if summary is None:
+            return None
+        name = attrs[0]
+        if len(attrs) == 1 and name in summary.concurrency:
+            return summary.concurrency[name]
+        reexport = summary.reexports.get(name)
+        if reexport is not None:
+            chased = attrs[1:]
+            if reexport.attr is not None:
+                chased = (reexport.attr,) + chased
+                return self._lookup_facts(reexport.module, chased, depth + 1)
+            if chased:
+                return self._lookup_facts(reexport.module, chased, depth + 1)
+        return None
 
     def resolve(self, chain: tuple) -> Optional[Resolved]:
         """The summary a dotted name chain targets, or ``None``.
@@ -175,10 +233,15 @@ class _SummaryContext:
         self.cache: Dict[str, object] = {}
 
 
-def _summarize(node: ModuleNode, module_taint: ModuleTaint) -> ModuleSummary:
+def _summarize(
+    node: ModuleNode, module_taint: ModuleTaint, config: LintConfig
+) -> ModuleSummary:
     functions, classes = taint.module_summaries(module_taint)
     return ModuleSummary(
-        functions=functions, classes=classes, reexports=dict(node.bindings)
+        functions=functions,
+        classes=classes,
+        reexports=dict(node.bindings),
+        concurrency=concurrency_mod.collect_class_facts(node.tree, config),
     )
 
 
@@ -222,7 +285,7 @@ def analyze_program(
             node = program.modules[members[0]]
             module_taint = analyze(node)
             result.taints[node.name] = module_taint
-            result.summaries[node.name] = _summarize(node, module_taint)
+            result.summaries[node.name] = _summarize(node, module_taint, config)
             continue
         # cyclic SCC: iterate until the member summaries stop changing
         for name in members:
@@ -234,7 +297,7 @@ def analyze_program(
             for name in members:
                 node = program.modules[name]
                 module_taint = analyze(node)
-                summary = _summarize(node, module_taint)
+                summary = _summarize(node, module_taint, config)
                 if summary != result.summaries.get(name):
                     changed = True
                 result.taints[name] = module_taint
@@ -247,7 +310,7 @@ def analyze_program(
                 node = program.modules[name]
                 module_taint = analyze(node)
                 result.taints[name] = module_taint
-                result.summaries[name] = _summarize(node, module_taint)
+                result.summaries[name] = _summarize(node, module_taint, config)
     return result
 
 
