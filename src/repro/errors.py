@@ -23,6 +23,7 @@ __all__ = [
     "ProtocolError",
     "TransportError",
     "DatasetError",
+    "PersistenceError",
     "ParallelError",
     "WorkerCrashError",
 ]
@@ -86,6 +87,16 @@ class TransportError(ProtocolError):
 
 class DatasetError(ReproError):
     """A dataset is malformed or inconsistent with its declared schema."""
+
+
+class PersistenceError(ReproError):
+    """Durable state on disk is corrupt or violates its format contract.
+
+    Raised by the store blob codec and the shard WAL/snapshot layer when a
+    file fails its digest, CRC, or framing checks *in a way recovery must
+    not paper over* — a torn tail from a crashed append is recovered
+    silently instead (see ``repro.server.sharding.wal``).
+    """
 
 
 class ParallelError(ReproError):

@@ -166,6 +166,33 @@ M_PARALLEL_SHM_OCCUPANCY = _metric(
     "smatch_parallel_shm_occupancy_bytes",
     "high-water bytes used in any one arena slot (sizing signal)",
 )
+# sharded server tier (repro.server.sharding).  Counters emitted inside
+# shard worker processes reach the coordinator via the same registry-merge
+# path as other worker metrics; the durability counters (wal/snapshot/
+# recovery) measure the persistence *mechanism*, not the matching work, so
+# like the shm-transport counters they are exempt from cross-backend
+# counter-equality comparisons.
+M_SHARD_OPS = _metric(
+    "smatch_shard_ops_total", "mutation ops (put/remove) applied by shards"
+)
+M_SHARD_QUERIES = _metric(
+    "smatch_shard_queries_total", "match queries answered by shards"
+)
+M_SHARD_WAL_RECORDS = _metric(
+    "smatch_shard_wal_records_total", "op records committed to shard WALs"
+)
+M_SHARD_WAL_BYTES = _metric(
+    "smatch_shard_wal_bytes_total", "framed bytes committed to shard WALs"
+)
+M_SHARD_SNAPSHOTS = _metric(
+    "smatch_shard_snapshots_total", "shard snapshots written (delta or full)"
+)
+M_SHARD_WAL_REPLAYED = _metric(
+    "smatch_shard_wal_replayed_total", "op records replayed during recovery"
+)
+M_SHARD_RECOVERIES = _metric(
+    "smatch_shard_recoveries_total", "shard states rebuilt from disk"
+)
 # telemetry collection itself (repro.parallel.backend splicing); named under
 # smatch_obs_ on purpose: smatch_parallel_* totals measure the *work* and
 # must be backend-invariant, while this one counts the collection mechanism

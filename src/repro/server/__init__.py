@@ -1,14 +1,17 @@
-"""The untrusted server: storage, matching engine, query service, adversaries."""
+"""The untrusted server: storage, matching, sharding, service, adversaries."""
 
 from repro.server.storage import ProfileStore
 from repro.server.matcher import ServerMatcher
 from repro.server.service import SMatchServer
+from repro.server.sharding import PlacementMap, ShardedTier
 from repro.server.adversary import MaliciousBehavior, MaliciousServer
 
 __all__ = [
+    "PlacementMap",
     "ProfileStore",
     "ServerMatcher",
     "SMatchServer",
+    "ShardedTier",
     "MaliciousBehavior",
     "MaliciousServer",
 ]

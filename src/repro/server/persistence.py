@@ -6,6 +6,19 @@ a restart must not force the whole user community to re-enroll.  The format
 is a versioned, length-prefixed binary file reusing the wire codec, with an
 integrity digest so corrupted state fails loudly instead of serving wrong
 matches.
+
+This full-blob dump is the **import/export path**: it serializes the whole
+store in one O(store) pass, which is right for backups, migrations, and
+seeding a :class:`~repro.server.sharding.tier.ShardedTier`
+(``tier.import_profiles(load_store(...).all_profiles().values())``).  The
+*operational* durability of the sharded tier is the per-shard WAL +
+incremental-snapshot layer (:mod:`repro.server.sharding`), which recovers
+in time proportional to the churn since the last snapshot, not store size.
+
+Note that :func:`load_store_bytes` returns a **fresh** store with no
+listeners: any :class:`~repro.server.matcher.ServerMatcher` built against
+the pre-save store must be re-bound with ``matcher.attach(new_store)`` or
+it will silently stop receiving mutation events.
 """
 
 from __future__ import annotations

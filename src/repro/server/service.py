@@ -12,8 +12,9 @@ malicious variants live in :mod:`repro.server.adversary`.
 
 from __future__ import annotations
 
+import pathlib
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
 from repro.errors import MatchingError, ProtocolError
 from repro.net.messages import (
@@ -35,6 +36,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import span
 from repro.server.matcher import ServerMatcher
+from repro.server.sharding.tier import ShardedTier
 from repro.server.storage import ProfileStore
 
 __all__ = ["SMatchServer"]
@@ -43,11 +45,43 @@ _log = get_logger("server")
 
 
 class SMatchServer:
-    """An honest-but-curious S-MATCH server."""
+    """An honest-but-curious S-MATCH server.
 
-    def __init__(self, query_k: int = 5, order_method: str = "rank") -> None:
-        self.store = ProfileStore()
-        self.matcher = ServerMatcher(self.store, order_method=order_method)
+    ``shards=1`` with no ``data_dir`` (the default) is the legacy
+    single-store engine, byte-for-byte: one in-process
+    :class:`ProfileStore` + :class:`ServerMatcher`.  ``shards=N`` (or any
+    ``data_dir``) swaps in a :class:`~repro.server.sharding.tier.ShardedTier`
+    behind the *same* ``handle_message`` surface — key-index groups placed
+    across N shard workers (``shard_mode="process"`` runs each in its own
+    process; ``"inline"`` keeps them in-process), with per-shard
+    WAL + snapshot durability when ``data_dir`` is set.  Seeded workloads
+    produce byte-identical :class:`QueryResult` encodings either way
+    (``tests/test_sharding.py`` pins the equivalence matrix).
+    """
+
+    def __init__(
+        self,
+        query_k: int = 5,
+        order_method: str = "rank",
+        shards: int = 1,
+        shard_mode: str = "process",
+        data_dir: Optional[Union[str, pathlib.Path]] = None,
+    ) -> None:
+        self.tier: Optional[ShardedTier] = None
+        self.store: Optional[ProfileStore] = None
+        self.matcher: Optional[ServerMatcher] = None
+        if shards == 1 and data_dir is None:
+            self.store = ProfileStore()
+            self.matcher = ServerMatcher(
+                self.store, order_method=order_method
+            )
+        else:
+            self.tier = ShardedTier(
+                shards=shards,
+                order_method=order_method,
+                mode=shard_mode,
+                data_dir=data_dir,
+            )
         self.query_k = query_k
         self.queries_served = 0
         self.uploads_accepted = 0
@@ -59,7 +93,10 @@ class SMatchServer:
         start_ns = time.monotonic_ns()
         try:
             with span("server.handle_upload", user=message.payload.user_id):
-                self.store.put(message.payload)
+                if self.tier is not None:
+                    self.tier.put(message.payload)
+                else:
+                    self._legacy_store().put(message.payload)
                 self.uploads_accepted += 1
                 metric_inc(M_SERVER_UPLOADS)
                 _log.debug(
@@ -75,11 +112,7 @@ class SMatchServer:
         start_ns = time.monotonic_ns()
         try:
             with span("server.handle_query", user=request.user_id):
-                matches = self._match_ids(request)
-                entries = tuple(
-                    ResultEntry(user_id=uid, auth=self.store.get(uid).auth)
-                    for uid in matches
-                )
+                entries = self._match_entries(request)
                 self.queries_served += 1
                 metric_inc(M_SERVER_QUERIES)
                 metric_inc(M_SERVER_RESULTS, len(entries))
@@ -115,14 +148,49 @@ class SMatchServer:
             f"server cannot handle {type(message).__name__}"
         )
 
+    def close(self) -> None:
+        """Release shard workers and durability handles (no-op unsharded)."""
+        if self.tier is not None:
+            self.tier.close()
+
+    def __enter__(self) -> "SMatchServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- internals ----------------------------------------------------------------
 
+    def _legacy_store(self) -> ProfileStore:
+        if self.store is None:
+            raise ProtocolError("sharded server has no legacy store")
+        return self.store
+
+    def _legacy_matcher(self) -> ServerMatcher:
+        if self.matcher is None:
+            raise ProtocolError("sharded server has no legacy matcher")
+        return self.matcher
+
+    def _match_entries(self, request: QueryRequest) -> Tuple[ResultEntry, ...]:
+        if self.tier is not None:
+            return self.tier.query(
+                request.user_id,
+                k=self.query_k,
+                max_distance=request.max_distance,
+            )
+        store = self._legacy_store()
+        return tuple(
+            ResultEntry(user_id=uid, auth=store.get(uid).auth)
+            for uid in self._match_ids(request)
+        )
+
     def _match_ids(self, request: QueryRequest) -> List[int]:
+        matcher = self._legacy_matcher()
         try:
             if request.max_distance is not None:
-                return self.matcher.match_within(
+                return matcher.match_within(
                     request.user_id, request.max_distance
                 )
-            return self.matcher.match(request.user_id, self.query_k)
+            return matcher.match(request.user_id, self.query_k)
         except MatchingError:
             return []  # unknown user or singleton group: empty result

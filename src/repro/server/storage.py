@@ -14,7 +14,8 @@ key.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterator, List, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.scheme import EncryptedProfile
 from repro.errors import MatchingError, ParameterError
@@ -38,10 +39,22 @@ class ProfileStore:
     def __init__(self) -> None:
         self._groups: Dict[bytes, Dict[int, EncryptedProfile]] = {}
         self._user_group: Dict[int, bytes] = {}
-        self._listeners: List["weakref.ReferenceType"] = []
+        self._profiles: Dict[int, EncryptedProfile] = {}
+        self._profiles_view: Mapping[int, EncryptedProfile] = (
+            MappingProxyType(self._profiles)
+        )
+        self._sizes_cache: Optional[Tuple[int, ...]] = None
+        self._listeners: list["weakref.ReferenceType"] = []
 
     def add_listener(self, listener: object) -> None:
-        """Subscribe to profile_added / profile_removed events (weakly)."""
+        """Subscribe to profile_added / profile_removed events (weakly).
+
+        Idempotent: re-adding an already-subscribed listener is a no-op,
+        so a matcher re-attached after persistence reload can never
+        double-receive events.
+        """
+        if any(ref() is listener for ref in self._listeners):
+            return
         self._listeners.append(weakref.ref(listener))
 
     def _live_listeners(self) -> List[object]:
@@ -80,6 +93,8 @@ class ProfileStore:
                 del self._groups[previous]
         self._groups.setdefault(payload.key_index, {})[uid] = payload
         self._user_group[uid] = payload.key_index
+        self._profiles[uid] = payload
+        self._sizes_cache = None
         if previous is not None:
             self._notify_removed(previous, uid)
         self._notify_added(payload)
@@ -100,6 +115,8 @@ class ProfileStore:
         del group[user_id]
         if not group:
             del self._groups[index]
+        del self._profiles[user_id]
+        self._sizes_cache = None
         self._notify_removed(index, user_id)
 
     def group_of(self, user_id: int) -> Dict[int, EncryptedProfile]:
@@ -120,16 +137,30 @@ class ProfileStore:
         for index, group in self._groups.items():
             yield index, dict(group)
 
-    def group_sizes(self) -> List[int]:
-        """Sizes of all key groups (the m of the PR-KK bound m/N)."""
-        return sorted((len(g) for g in self._groups.values()), reverse=True)
+    def group_sizes(self) -> Tuple[int, ...]:
+        """Sizes of all key groups (the m of the PR-KK bound m/N).
 
-    def all_profiles(self) -> Dict[int, EncryptedProfile]:
-        """Every stored record keyed by user id."""
-        return {
-            uid: self._groups[idx][uid]
-            for uid, idx in self._user_group.items()
-        }
+        Contract: an immutable tuple, descending, **computed lazily and
+        cached** — repeated calls between mutations (hot in benchmarks and
+        the adversary model) cost one attribute read.  The tuple is a
+        snapshot: it never changes under the caller's feet.
+        """
+        sizes = self._sizes_cache
+        if sizes is None:
+            sizes = self._sizes_cache = tuple(
+                sorted((len(g) for g in self._groups.values()), reverse=True)
+            )
+        return sizes
+
+    def all_profiles(self) -> Mapping[int, EncryptedProfile]:
+        """Every stored record keyed by user id.
+
+        Contract: a **read-only live view** (``MappingProxyType``), not a
+        copy — O(1) per call, it tracks subsequent mutations, and callers
+        that need a stable snapshot must ``dict()`` it themselves.
+        Mutating through the view raises ``TypeError``.
+        """
+        return self._profiles_view
 
     def contains(self, user_id: int) -> bool:
         """True when the user has a stored record."""

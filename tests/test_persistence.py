@@ -100,3 +100,92 @@ class TestCorruption:
         data = dump_store_bytes(loaded_store)
         with pytest.raises(ProtocolError):
             load_store_bytes(data[: len(data) // 2])
+
+
+class TestMatcherAttach:
+    """save -> load -> attach -> churn -> query (the re-bind satellite)."""
+
+    @staticmethod
+    def _crowded_group(store):
+        for key_index, members in store.groups():
+            if len(members) >= 3:
+                return key_index, members
+        pytest.skip("population produced no group with 3+ members")
+
+    def test_save_load_attach_churn_query(self, enrolled, tmp_path):
+        import dataclasses
+
+        from repro.server.matcher import ServerMatcher
+
+        _, _, uploads, _ = enrolled
+        server = SMatchServer(query_k=3)
+        for payload in uploads.values():
+            server.handle_upload(UploadMessage(payload=payload))
+        path = tmp_path / "state.bin"
+        save_store(server.store, path)
+
+        # reload and RE-BIND the existing matcher instead of rebuilding it
+        server.store = load_store(path)
+        server.matcher.attach(server.store)
+
+        _, members = self._crowded_group(server.store)
+        uid_query, uid_remove, uid_drift = sorted(members)[:3]
+        # warm the group index, then churn through the re-attached store
+        server.handle_query(
+            QueryRequest(query_id=1, timestamp=0, user_id=uid_query)
+        )
+        server.store.remove(uid_remove)
+        drifted = dataclasses.replace(
+            members[uid_drift],
+            chain=tuple(c + 1 for c in members[uid_drift].chain),
+        )
+        server.store.put(drifted)
+        churned = server.handle_query(
+            QueryRequest(query_id=2, timestamp=0, user_id=uid_query)
+        )
+
+        # oracle: a cold matcher over the same final contents
+        oracle_store = ProfileStore()
+        for payload in server.store.all_profiles().values():
+            oracle_store.put(payload)
+        oracle = ServerMatcher(oracle_store)
+        assert [e.user_id for e in churned.entries] == oracle.match(
+            uid_query, 3
+        )
+        assert uid_remove not in {e.user_id for e in churned.entries}
+
+    def test_reattach_same_store_is_idempotent(self, loaded_store):
+        from repro.server.matcher import ServerMatcher
+
+        matcher = ServerMatcher(loaded_store)
+        for _ in range(3):
+            matcher.attach(loaded_store)
+        _, members = self._crowded_group(loaded_store)
+        uid_query, uid_remove = sorted(members)[:2]
+        matcher.match(uid_query, 3)  # warm the group index
+        before = matcher.group_generation(uid_query)
+        # one mutation must land exactly one event — double subscription
+        # would double-deliver and bump the generation twice
+        loaded_store.remove(uid_remove)
+        assert matcher.group_generation(uid_query) == before + 1
+
+    def test_attach_new_store_drops_stale_indexes(self, enrolled):
+        from repro.server.matcher import ServerMatcher
+
+        _, _, uploads, _ = enrolled
+        store = ProfileStore()
+        for payload in uploads.values():
+            store.put(payload)
+        matcher = ServerMatcher(store)
+        _, members = self._crowded_group(store)
+        uid_query, uid_gone = sorted(members)[:2]
+        matcher.match(uid_query, 3)  # warm against the old store
+
+        replacement = load_store_bytes(dump_store_bytes(store))
+        replacement.remove(uid_gone)
+        matcher.attach(replacement)
+        assert uid_gone not in matcher.match(uid_query, 3)
+        # and events from the new store flow to the re-attached matcher
+        generation_probe = matcher.group_generation(uid_query)
+        replacement.remove(sorted(replacement.group_of(uid_query))[-1])
+        assert matcher.group_generation(uid_query) != generation_probe

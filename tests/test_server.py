@@ -272,3 +272,54 @@ class TestMaliciousServer:
         )
         self.query_and_verify(server, scheme, users, keys)
         assert server.forgeries_sent >= 1
+
+
+class TestStoreViews:
+    """The documented read-only view contract of ProfileStore."""
+
+    @pytest.fixture
+    def store(self, enrolled):
+        _, _, uploads, _ = enrolled
+        store = ProfileStore()
+        for payload in uploads.values():
+            store.put(payload)
+        return store
+
+    def test_all_profiles_is_read_only(self, store):
+        view = store.all_profiles()
+        uid = next(iter(view))
+        with pytest.raises(TypeError):
+            view[uid] = view[uid]  # type: ignore[index]
+        with pytest.raises(TypeError):
+            del view[uid]  # type: ignore[attr-defined]
+
+    def test_all_profiles_is_a_live_view(self, store):
+        view = store.all_profiles()
+        uid = next(iter(view))
+        count = len(view)
+        store.remove(uid)
+        assert len(view) == count - 1 and uid not in view
+        store.put(store.get(next(iter(view))))  # replace keeps the count
+        assert len(view) == count - 1
+
+    def test_all_profiles_matches_gets(self, store):
+        for uid, payload in store.all_profiles().items():
+            assert store.get(uid) == payload
+
+    def test_group_sizes_is_a_sorted_snapshot(self, store):
+        sizes = store.group_sizes()
+        assert isinstance(sizes, tuple)
+        assert list(sizes) == sorted(sizes, reverse=True)
+        assert sum(sizes) == len(store)
+        assert len(sizes) == store.num_groups
+        # snapshot semantics: the tuple does not track later mutations...
+        store.remove(next(iter(store.all_profiles())))
+        assert sum(sizes) == len(store) + 1
+        # ...and a fresh call reflects them (cache invalidated on mutation)
+        assert sum(store.group_sizes()) == len(store)
+
+    def test_group_sizes_cached_between_mutations(self, store):
+        assert store.group_sizes() is store.group_sizes()
+        before = store.group_sizes()
+        store.remove(next(iter(store.all_profiles())))
+        assert store.group_sizes() is not before

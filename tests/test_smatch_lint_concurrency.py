@@ -794,3 +794,81 @@ class TestLiveTreeConcurrencyGates:
                     continue
                 directive = line.split("smatch-lint: disable=", 1)[1]
                 assert "—" in directive or " - " in directive, (path, line)
+
+
+class TestSml015ShardLifecycle:
+    """Shard-tier resources joined the SML015 creator/release pair set."""
+
+    SHARD_PATH = "src/repro/server/sharding/widget.py"
+
+    def test_leaked_wal_flagged(self):
+        found = check(
+            """
+    def open_log(path):
+        wal = ShardWal(path)
+        wal.append_record(b"x")
+        wal.commit()
+    """,
+            self.SHARD_PATH,
+        )
+        assert codes(found) == ["SML015"]
+        assert "close" in found[0].message
+
+    def test_closed_wal_clean(self):
+        assert (
+            check(
+                """
+    def open_log(path):
+        wal = ShardWal(path)
+        try:
+            wal.append_record(b"x")
+            wal.commit()
+        finally:
+            wal.close()
+    """,
+                self.SHARD_PATH,
+            )
+            == []
+        )
+
+    def test_returned_tier_is_ownership_transfer(self):
+        assert (
+            check(
+                """
+    def build(n):
+        tier = ShardedTier(shards=n)
+        return tier
+    """,
+                self.SHARD_PATH,
+            )
+            == []
+        )
+
+    def test_leaked_tier_and_state_flagged(self):
+        found = check(
+            """
+    def probe(n, path, payloads):
+        tier = ShardedTier(shards=n)
+        state = ShardState(0, directory=path)
+        tier.put_batch(payloads)
+        state.apply_ops([("put", p) for p in payloads])
+    """,
+            self.SHARD_PATH,
+        )
+        assert codes(found) == ["SML015", "SML015"]
+
+    def test_closed_process_shard_clean(self):
+        assert (
+            check(
+                """
+    def run(spec, ops):
+        shard = ProcessShard(spec)
+        try:
+            return shard.apply(ops)
+        finally:
+            shard.close()
+    """,
+                self.SHARD_PATH,
+            )
+            == []
+        )

@@ -674,3 +674,42 @@ class TestModuleGraph:
         program = Program.build(files)
         sccs = program.sccs_topological()
         assert ["repro.server.a", "repro.server.b"] in sccs
+
+
+class TestShardDurabilitySinks:
+    """The shard WAL/snapshot files are replayed into restarted worker
+    processes, so their write APIs are SML010 boundary sinks."""
+
+    SHARD_PATH = "src/repro/server/sharding/widget.py"
+
+    def test_wal_append_of_secret_fires(self):
+        src = """
+            def log(wal, session_key):
+                wal.append_record(session_key)
+        """
+        found = check(src, self.SHARD_PATH)
+        assert codes(found) == ["SML010"]
+        assert "process boundary" in found[0].message
+
+    def test_wal_append_of_ciphertext_is_clean(self):
+        src = """
+            def log(wal, session_key):
+                sealed_payload = seal(session_key)
+                wal.append_record(sealed_payload)
+        """
+        assert check(src, self.SHARD_PATH) == []
+
+    def test_snapshot_write_of_secret_fires(self):
+        src = """
+            def persist(directory, seq, mac_key):
+                return write_snapshot(directory, seq, 0, True, mac_key, ())
+        """
+        found = check(src, self.SHARD_PATH)
+        assert codes(found) == ["SML010"]
+
+    def test_snapshot_write_of_public_groups_is_clean(self):
+        src = """
+            def persist(directory, seq, group_table):
+                return write_snapshot(directory, seq, 0, True, group_table, ())
+        """
+        assert check(src, self.SHARD_PATH) == []

@@ -214,9 +214,13 @@ class LintConfig:
 
     #: Calls whose arguments are serialized across a process boundary:
     #: ``pickle.dumps``/``dump``, task-envelope constructors, pool
-    #: ``submit``, shared-memory segments, and the result arena's write
+    #: ``submit``, shared-memory segments, the result arena's write
     #: API (``put_record`` copies the encoded value into a segment any
-    #: process attached to the arena can read).
+    #: process attached to the arena can read), and the shard durability
+    #: sinks — ``append_record`` frames a value into a shard's on-disk
+    #: WAL and ``write_snapshot`` persists whole group tables, both of
+    #: which outlive the process and are replayed into restarted shard
+    #: workers, so tainted material must never reach them unencrypted.
     boundary_sink_calls: Tuple[str, ...] = (
         "dumps",
         "dump",
@@ -224,6 +228,8 @@ class LintConfig:
         "SharedMemory",
         "ShareableList",
         "put_record",
+        "append_record",
+        "write_snapshot",
     )
 
     #: Keyword arguments that ship their value into worker processes even
@@ -356,11 +362,19 @@ class LintConfig:
     #: them.  ``SharedMemory`` counts only when called with ``create=True``
     #: (attaching is borrowing); ``ArenaWriter``'s release is its commit
     #: point ``seal()`` (docs/PERFORMANCE.md §5 ownership protocol).
+    #: The sharded server tier joins the pair set: an open ``ShardWal``
+    #: holds an fd and uncommitted frames, a ``ShardState`` owns one, a
+    #: ``ProcessShard`` pins a warm single-worker pool, and a
+    #: ``ShardedTier`` owns all of the above plus the fan-out thread pool.
     resource_release_methods: Tuple[Tuple[str, str], ...] = (
         ("SharedMemory", "close"),
         ("ResultArena", "close"),
         ("ContextSegment", "close"),
         ("ArenaWriter", "seal"),
+        ("ShardWal", "close"),
+        ("ShardState", "close"),
+        ("ProcessShard", "close"),
+        ("ShardedTier", "close"),
     )
 
     #: Per-path rule ignore sets: ``(path fragment, rule codes)`` pairs.
